@@ -1,0 +1,63 @@
+// Ablation: the Basic Kernel design choices (paper Section III-A2).
+//
+// Sweeps the kernel variant and the L1 fill pressure through the cycle-level
+// pipeline model, and shows the end-to-end DGEMM consequence: Basic Kernel 1
+// has the higher theoretical ceiling (31/32) but stalls on L1 port
+// conflicts; Basic Kernel 2 trades one accumulator for conflict-free
+// prefetch fills and wins overall — the paper's core micro-architectural
+// argument.
+#include <cstdio>
+
+#include "sim/gemm_model.h"
+#include "sim/pipeline.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+
+  std::printf("Ablation A: inner-loop variants under varying fill pressure\n\n");
+  util::Table t({"variant", "fills/iter", "cycles/iter", "stalls/iter",
+                 "issue eff %"});
+  for (auto [variant, name] :
+       {std::pair{sim::KernelVariant::kBasic1, "Basic Kernel 1"},
+        std::pair{sim::KernelVariant::kBasic2, "Basic Kernel 2"},
+        std::pair{sim::KernelVariant::kNoPrefetch, "no prefetch"}}) {
+    for (double fills : {1.0, 2.0, 3.0, 4.0}) {
+      sim::PipelineParams p;
+      p.fills_per_iteration = fills;
+      const auto r = sim::simulate_inner_loop(variant, p);
+      t.add_row({name, util::Table::fmt(fills, 1),
+                 util::Table::fmt(r.cycles_per_iteration, 2),
+                 util::Table::fmt(r.stall_cycles_per_iteration, 2),
+                 util::Table::fmt(r.issue_efficiency() * 100, 1)});
+    }
+  }
+  t.print("ablation_kernels_pipeline.csv");
+
+  std::printf("\nAblation B: end-to-end DGEMM efficiency per variant "
+              "(M=N=28000, k=300)\n\n");
+  util::Table t2({"variant", "issue eff %", "DGEMM eff %", "DGEMM GFLOPS"});
+  for (auto [variant, name] :
+       {std::pair{sim::KernelVariant::kBasic1, "Basic Kernel 1"},
+        std::pair{sim::KernelVariant::kBasic2, "Basic Kernel 2"},
+        std::pair{sim::KernelVariant::kNoPrefetch, "no prefetch"}}) {
+    sim::KncGemmParams params;
+    params.variant = variant;
+    sim::KncGemmModel m(sim::MachineSpec::knights_corner(), params);
+    const int cores = m.spec().compute_cores();
+    const double eff = m.gemm_efficiency(28000, 28000, 300, 300, true,
+                                         sim::Precision::kDouble, cores);
+    t2.add_row({name,
+                util::Table::fmt(m.issue_efficiency(sim::Precision::kDouble) * 100, 1),
+                util::Table::fmt(eff * 100, 1),
+                util::Table::fmt(eff * m.spec().peak_gflops(
+                                           sim::Precision::kDouble, cores),
+                                 0)});
+  }
+  t2.print("ablation_kernels_dgemm.csv");
+  std::printf(
+      "\nReading: Kernel 2's 93.7%% ceiling beats Kernel 1's stalled 91%%; "
+      "without software prefetch the kernel loses ~20 points to exposed L2 "
+      "latency.\n");
+  return 0;
+}

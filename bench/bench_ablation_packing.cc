@@ -1,0 +1,50 @@
+// Ablation: WHY the Knights Corner-friendly packed format exists (paper
+// Section III-A3).
+//
+// Replays the A-operand access pattern of one core's L2 block — m=120 rows
+// (four 30-row register tiles), k deep — through functional L1/TLB models,
+// for the unpacked row-major matrix at several leading dimensions vs the
+// packed contiguous tiles.
+// Large leading dimensions thrash the TLB (every element a new page) and
+// power-of-two ones additionally collide in the cache sets; the packed tile
+// is contiguous and suffers neither.
+#include <cstdio>
+
+#include "sim/cache.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+
+  std::printf(
+      "Ablation: A-operand access pattern, m=120 block x k=240 steps,\n"
+      "through KNC L1 (32KB/8-way/64B) and DTLB (64 x 4KB)\n\n");
+  util::Table t({"layout", "leading dim (doubles)", "L1 miss %", "TLB miss %"});
+  struct Case {
+    const char* name;
+    std::size_t ld;
+  };
+  const Case cases[] = {
+      {"unpacked row-major", 5000},
+      {"unpacked row-major", 28000},
+      {"unpacked row-major (pow2)", 32768},
+      {"packed contiguous tiles", 120},
+  };
+  for (const Case& c : cases) {
+    const auto stats = sim::walk_column_access(
+        120, 240, c.ld, sim::SetAssociativeCache::knc_l1(), sim::Tlb::knc_dtlb());
+    t.add_row({c.name, util::Table::fmt(c.ld),
+               util::Table::fmt(stats.cache_miss_rate * 100, 1),
+               util::Table::fmt(stats.tlb_miss_rate * 100, 1)});
+  }
+  t.print("ablation_packing.csv");
+
+  std::printf(
+      "\nReading: with a large leading dimension the 120 rows of the block live "
+      "on 120 distinct pages — more than the 64 DTLB entries, so every column "
+      "walk thrashes; at a power-of-two leading "
+      "dimension columns also collide in the L1 sets. The packed tile walks "
+      "contiguously — the paper's motivation for packing, demonstrated from "
+      "first principles.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: why the four hardware threads of a core share the packed `a`
+// tile, and why they must stay synchronized (paper Section III-A2).
+//
+// Runs the basic kernel's real address streams through the SMT core model
+// (round-robin issue, shared functional L1): the paper's "two cache lines
+// per iteration" budget emerges when the tile is shared and threads stay
+// together, degrades toward the unshared five as they drift, and the IPC
+// column shows what that does to a latency-bound in-order core.
+#include <cstdio>
+
+#include "sim/smt_core.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+
+  std::printf(
+      "Ablation: a-tile sharing across the 4 hardware threads of a core\n"
+      "(30-row packed columns, shared L1 32KB/8-way, L2 latency 24 cycles)\n\n");
+  util::Table t({"configuration", "L1 lines / iteration", "IPC"});
+  struct Case {
+    const char* name;
+    bool share;
+    std::size_t drift;
+  };
+  const Case cases[] = {
+      {"shared a, synchronized (paper)", true, 0},
+      {"shared a, drift 64 iters", true, 64},
+      {"shared a, drift 512 iters", true, 512},
+      {"shared a, drift 2048 iters", true, 2048},
+      {"private a per thread", false, 0},
+  };
+  for (const Case& c : cases) {
+    sim::SmtGemmConfig cfg;
+    cfg.k = 16384;
+    cfg.share_a_tile = c.share;
+    cfg.drift_iterations = c.drift;
+    const auto r = sim::simulate_smt_gemm(cfg);
+    t.add_row({c.name, util::Table::fmt(r.lines_per_iteration, 2),
+               util::Table::fmt(r.ipc, 3)});
+  }
+  t.print("ablation_smt_sharing.csv");
+
+  std::printf(
+      "\nReading: the paper derives 1 (b row) + 4 (a column) / 4 (threads) "
+      "~ 2 lines per iteration; the model measures it. Sharing survives "
+      "small drift because trailing threads refresh the LRU, then collapses "
+      "toward the private-tile 5 lines — why the kernel keeps the threads "
+      "coherent with frequent fast barriers.\n");
+  return 0;
+}

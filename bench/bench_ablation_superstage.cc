@@ -1,0 +1,67 @@
+// Ablation: the paper's two many-core scheduling extensions (Section IV-A).
+//
+//  1. Thread-group planning: the model-tuned super-stage plan (groups grow as
+//     the trailing matrix shrinks) vs fixed group sizes vs the simple
+//     geometric doubling rule.
+//  2. Master-only DAG access vs every thread contending on the critical
+//     section (the original Buttari et al. scheme).
+#include <cstdio>
+
+#include "lu/sim_scheduler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const sim::KncLuModel model;
+  const int cores = model.spec().compute_cores();
+
+  std::printf("Ablation A: thread-group plans for dynamic LU\n\n");
+  util::Table t({"N", "plan", "groups@start", "GFLOPS", "eff %"});
+  for (std::size_t n : {5000u, 10000u, 30000u}) {
+    lu::NativeLuConfig cfg;
+    cfg.n = n;
+    cfg.nb = 240;
+    const std::size_t panels = (n + cfg.nb - 1) / cfg.nb;
+    struct Named {
+      const char* name;
+      lu::ThreadPlan plan;
+    };
+    const Named plans[] = {
+        {"model-tuned (paper)", lu::model_tuned_plan(model, n, cfg.nb, cores)},
+        {"fixed 1-core groups", lu::ThreadPlan::fixed(cores, 1, panels)},
+        {"fixed 4-core groups", lu::ThreadPlan::fixed(cores, 4, panels)},
+        {"fixed 16-core groups", lu::ThreadPlan::fixed(cores, 16, panels)},
+        {"geometric doubling", lu::ThreadPlan::geometric(cores, panels)},
+    };
+    for (const auto& p : plans) {
+      const auto r = lu::simulate_dynamic_lu(cfg, model, p.plan);
+      t.add_row({util::Table::fmt(n), p.name,
+                 util::Table::fmt(p.plan.groups_at(0)),
+                 util::Table::fmt(r.gflops, 0),
+                 util::Table::fmt(r.efficiency * 100, 1)});
+    }
+  }
+  t.print("ablation_superstage_plans.csv");
+
+  std::printf("\nAblation B: DAG critical-section discipline (N=10000)\n\n");
+  util::Table t2({"access", "factor s", "GFLOPS"});
+  lu::NativeLuConfig cfg;
+  cfg.n = 10000;
+  cfg.nb = 240;
+  const auto plan = lu::model_tuned_plan(model, cfg.n, cfg.nb, cores);
+  for (bool master_only : {true, false}) {
+    cfg.master_only_dag_access = master_only;
+    const auto r = lu::simulate_dynamic_lu(cfg, model, plan);
+    t2.add_row({master_only ? "master thread only (paper)"
+                            : "all threads contend (original)",
+                util::Table::fmt(r.factor_seconds, 3),
+                util::Table::fmt(r.gflops, 0)});
+  }
+  t2.print("ablation_superstage_dag.csv");
+  std::printf(
+      "\nReading: wide fixed groups waste parallelism early, narrow fixed "
+      "groups expose late panels; the model-tuned plan tracks the best of "
+      "both. Restricting the critical section to group masters removes the "
+      "240-thread contention tax.\n");
+  return 0;
+}

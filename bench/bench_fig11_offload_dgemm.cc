@@ -1,0 +1,43 @@
+// Regenerates Figure 11: offload DGEMM performance for trailing-update
+// shaped matrices (M = N, Kt = 1200) with one and two coprocessors.
+//
+// Paper anchors: 1 card reaches ~917 GFLOPS (85.4%) at 82K — 1.5% lost to
+// the communication core, 2.5% to first/last tile exposure — with slow
+// decay toward smaller sizes; 2 cards peak at 1785 GFLOPS (83%) and decay
+// faster because each card solves half the problem.
+#include <cstdio>
+
+#include "core/offload_dgemm.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const sim::KncGemmModel knc;
+  const sim::SnbModel snb;
+  const pci::PcieLink link;
+
+  std::printf("Figure 11: offload DGEMM, M = N sweep, Kt = 1200\n\n");
+  util::Table table({"M=N", "1-card GFLOPS", "1-card eff %", "1-card tiles",
+                     "2-card GFLOPS", "2-card eff %", "2-card Mt x Nt"});
+  for (std::size_t n : {5000u, 10000u, 15000u, 20000u, 30000u, 41000u, 52000u,
+                        62000u, 72000u, 82000u}) {
+    core::OffloadDgemmConfig cfg;
+    cfg.m = cfg.n = n;
+    cfg.cards = 1;
+    const auto r1 = core::simulate_offload_dgemm(cfg, knc, snb, link);
+    cfg.cards = 2;
+    const auto r2 = core::simulate_offload_dgemm(cfg, knc, snb, link);
+    table.add_row({util::Table::fmt(n), util::Table::fmt(r1.gflops, 0),
+                   util::Table::fmt(r1.efficiency * 100, 1),
+                   util::Table::fmt(r1.tiles_total),
+                   util::Table::fmt(r2.gflops, 0),
+                   util::Table::fmt(r2.efficiency * 100, 1),
+                   std::to_string(r2.mt) + " x " + std::to_string(r2.nt)});
+  }
+  table.print("fig11_offload_dgemm.csv");
+
+  std::printf(
+      "\nPaper reference: 1 card ~917 GFLOPS (85.4%%) at 82K, slow decay; "
+      "2 cards peak 1785 GFLOPS (83%%), faster decay.\n");
+  return 0;
+}

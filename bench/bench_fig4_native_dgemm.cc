@@ -1,0 +1,58 @@
+// Regenerates Figure 4: native DGEMM performance on Sandy Bridge EP (MKL
+// envelope) and Knights Corner (outer-product kernel with k=300, with and
+// without packing overhead) for matrix sizes 1K..28K.
+//
+// Paper anchors: SNB up to ~90% (300 GFLOPS); KNC kernel 88% by 5K; packing
+// overhead 15% at 1K, <2% from 5K, <0.4% past 17K.
+#include <cstdio>
+
+#include "sim/gemm_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const sim::KncGemmModel knc;
+  const sim::SnbModel snb;
+  const int knc_cores = knc.spec().compute_cores();
+  const std::size_t k = 300;
+
+  std::printf(
+      "Figure 4: native DGEMM, outer product with k=%zu (KNC, %d cores) vs "
+      "MKL DGEMM (SNB)\n\n",
+      k, knc_cores);
+
+  util::Table table({"N", "SNB GFLOPS", "SNB eff %", "KNC kernel GFLOPS",
+                     "KNC kernel eff %", "KNC +packing GFLOPS",
+                     "KNC +packing eff %", "packing ovh %"});
+  for (std::size_t n = 1000; n <= 28000; n += (n < 8000 ? 1000 : 2000)) {
+    const double snb_gf = snb.dgemm_gflops(n, n, n);
+    const double snb_eff = snb.dgemm_efficiency(n, n, n);
+    const double kern_eff = knc.gemm_efficiency(n, n, k, k, false,
+                                                sim::Precision::kDouble,
+                                                knc_cores);
+    const double kern_gf = kern_eff * knc.spec().peak_gflops(
+                                          sim::Precision::kDouble, knc_cores);
+    const double pack_eff = knc.gemm_efficiency(n, n, k, k, true,
+                                                sim::Precision::kDouble,
+                                                knc_cores);
+    const double pack_gf = pack_eff * knc.spec().peak_gflops(
+                                          sim::Precision::kDouble, knc_cores);
+    const double t_no = knc.gemm_seconds(n, n, k, k, false,
+                                         sim::Precision::kDouble, knc_cores);
+    const double t_yes = knc.gemm_seconds(n, n, k, k, true,
+                                          sim::Precision::kDouble, knc_cores);
+    table.add_row({util::Table::fmt(n), util::Table::fmt(snb_gf, 0),
+                   util::Table::fmt(snb_eff * 100, 1),
+                   util::Table::fmt(kern_gf, 0),
+                   util::Table::fmt(kern_eff * 100, 1),
+                   util::Table::fmt(pack_gf, 0),
+                   util::Table::fmt(pack_eff * 100, 1),
+                   util::Table::fmt((t_yes - t_no) / t_yes * 100, 2)});
+  }
+  table.print("fig4_native_dgemm.csv");
+
+  std::printf(
+      "\nPaper reference: SNB ~90%% at large N; KNC kernel reaches 88%% at "
+      "5K; packing overhead 15%% @1K -> <2%% @5K -> <0.4%% @17K+.\n");
+  return 0;
+}

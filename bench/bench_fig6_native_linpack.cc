@@ -1,0 +1,52 @@
+// Regenerates Figure 6: native Linpack performance on Sandy Bridge EP (MKL
+// SMP Linpack envelope) and Knights Corner with the static look-ahead and
+// dynamic scheduling schemes, for N = 1K..30K.
+//
+// Paper anchors: SNB 277 GFLOPS (83%) at 30K; KNC dynamic beats static below
+// 8K; both reach ~832 GFLOPS (~79%) at 30K, within 12% of native DGEMM.
+#include <cstdio>
+
+#include "lu/sim_scheduler.h"
+#include "sim/gemm_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const sim::KncLuModel model;
+  const sim::SnbModel snb;
+  const int cores = model.spec().compute_cores();
+
+  std::printf(
+      "Figure 6: native Linpack vs problem size (KNC %d compute cores, "
+      "nb=240)\n\n",
+      cores);
+
+  util::Table table({"N", "SNB MKL GFLOPS", "KNC static GFLOPS",
+                     "KNC dynamic GFLOPS", "static eff %", "dynamic eff %",
+                     "KNC DGEMM envelope GFLOPS"});
+  for (std::size_t n : {1000u, 2000u, 4000u, 5000u, 6000u, 8000u, 10000u,
+                        15000u, 20000u, 25000u, 30000u}) {
+    lu::NativeLuConfig cfg;
+    cfg.n = n;
+    cfg.nb = 240;
+    const auto plan = lu::model_tuned_plan(model, n, cfg.nb, cores);
+    const auto dyn = lu::simulate_dynamic_lu(cfg, model, plan);
+    const auto sta = lu::simulate_static_lookahead_lu(cfg, model);
+    const double dgemm_env =
+        model.gemm_model().gemm_efficiency(n, n, 300, 300, false,
+                                           sim::Precision::kDouble, cores) *
+        model.spec().peak_gflops(sim::Precision::kDouble, cores);
+    table.add_row({util::Table::fmt(n), util::Table::fmt(snb.hpl_gflops(n), 0),
+                   util::Table::fmt(sta.gflops, 0),
+                   util::Table::fmt(dyn.gflops, 0),
+                   util::Table::fmt(sta.efficiency * 100, 1),
+                   util::Table::fmt(dyn.efficiency * 100, 1),
+                   util::Table::fmt(dgemm_env, 0)});
+  }
+  table.print("fig6_native_linpack.csv");
+
+  std::printf(
+      "\nPaper reference: SNB 277 GFLOPS (83%%) at 30K; dynamic > static "
+      "below 8K, converging to ~832 GFLOPS (79%%) at 30K.\n");
+  return 0;
+}

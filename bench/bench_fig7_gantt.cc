@@ -1,0 +1,57 @@
+// Regenerates Figure 7: Gantt chart of the LU execution profile for the 5K
+// problem under (a) static look-ahead and (b) dynamic scheduling.
+//
+// Paper reading: the static schedule shows prominent DGETRF (panel) and
+// barrier regions; dynamic scheduling shrinks both, filling the machine with
+// DGEMM.
+#include <cstdio>
+
+#include "lu/sim_scheduler.h"
+#include "trace/timeline.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const sim::KncLuModel model;
+  const int cores = model.spec().compute_cores();
+
+  lu::NativeLuConfig cfg;
+  cfg.n = 5000;
+  cfg.nb = 240;
+  cfg.capture_timeline = true;
+
+  const auto plan = lu::model_tuned_plan(model, cfg.n, cfg.nb, cores);
+  const auto dyn = lu::simulate_dynamic_lu(cfg, model, plan);
+  const auto sta = lu::simulate_static_lookahead_lu(cfg, model);
+
+  std::printf("Figure 7: LU execution profile, N=%zu, nb=%zu\n\n", cfg.n,
+              cfg.nb);
+  std::printf("(a) static look-ahead  — factor time %.3f s (%.0f GFLOPS)\n",
+              sta.factor_seconds, sta.gflops);
+  std::printf("%s\n", trace::render_gantt(sta.timeline, 110).c_str());
+  std::printf("(b) dynamic scheduling — factor time %.3f s (%.0f GFLOPS)\n",
+              dyn.factor_seconds, dyn.gflops);
+  std::printf("%s\n", trace::render_gantt(dyn.timeline, 110).c_str());
+
+  auto summarize = [](const char* name, const lu::NativeLuResult& r) {
+    const auto busy = r.timeline.busy_by_kind();
+    auto get = [&](trace::SpanKind k) {
+      const auto it = busy.find(k);
+      return it == busy.end() ? 0.0 : it->second;
+    };
+    std::printf(
+        "%s: DGETRF busy %.3f s, DGEMM busy %.3f s, barrier wall %.4f s, "
+        "lane utilization %.1f%%\n",
+        name, get(trace::SpanKind::kPanelFactor), get(trace::SpanKind::kGemm),
+        r.barrier_seconds, r.timeline.utilization() * 100);
+  };
+  summarize("static ", sta);
+  summarize("dynamic", dyn);
+
+  std::printf(
+      "\nPaper reference: at 5K the static profile shows large DGETRF and "
+      "barrier regions; dynamic scheduling reduces both and runs %.0f%% "
+      "faster here (paper: visibly faster, converging by 8K).\n",
+      (sta.factor_seconds / dyn.factor_seconds - 1.0) * 100);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension bench: the paper's future-work direction (Section VII).
+//
+// "Our fully native 79% efficient single-node Linpack implementation on
+// Knights Corner is a first step in the direction of running the Linpack
+// directly on a cluster of Knights Corners, while CPU cores are put into a
+// deep sleep state to significantly reduce their energy."
+//
+// Projects that system with the native-cluster model and compares it with
+// the hybrid implementation on throughput AND energy efficiency — the
+// paper's stated motivation (the host "consumes comparable power" but
+// delivers several times fewer flops).
+#include <cstdio>
+
+#include "core/hybrid_hpl.h"
+#include "lu/native_cluster.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const sim::KncLuModel knc_lu;
+  const net::CostModel net;
+
+  // Node power: card(s) + host + board/NIC overhead. In the native scenario
+  // the host sleeps at a fraction of its TDP.
+  const double knc_w = sim::MachineSpec::knights_corner().tdp_watts;
+  const double snb_w = sim::MachineSpec::sandy_bridge_ep().tdp_watts;
+  const double overhead_w = 120.0;
+  const double host_sleep_w = 0.15 * snb_w;
+
+  std::printf(
+      "Future-work projection: hybrid node vs native Knights Corner cluster\n"
+      "(per-node power: card %.0f W, host %.0f W awake / %.0f W asleep, "
+      "%.0f W board)\n\n",
+      knc_w, snb_w, host_sleep_w, overhead_w);
+
+  util::Table t({"system", "nodes", "N", "TFLOPS", "eff %", "node W",
+                 "GFLOPS/W"});
+  for (int p : {1, 2, 10}) {
+    const int nodes = p * p;
+    // Hybrid: memory-scaled N on 64 GiB hosts (as Table III).
+    core::HybridHplConfig hc;
+    hc.p = hc.q = p;
+    hc.cards = 1;
+    hc.scheme = core::Lookahead::kPipelined;
+    hc.n = static_cast<std::size_t>(84000.0 * p);
+    const auto hybrid = core::simulate_hybrid_hpl(hc);
+    const double hybrid_w = nodes * (knc_w + snb_w + overhead_w);
+    t.add_row({"hybrid (1 card + host)", util::Table::fmt(nodes),
+               util::Table::fmt(hc.n),
+               util::Table::fmt(hybrid.gflops / 1000.0, 2),
+               util::Table::fmt(hybrid.efficiency * 100, 1),
+               util::Table::fmt(hybrid_w / nodes, 0),
+               util::Table::fmt(hybrid.gflops / hybrid_w, 2)});
+
+    // Native: problem capped by the card's 8 GB GDDR (the paper's stated
+    // drawback of going native — and why the hybrid exists).
+    lu::NativeClusterConfig nc;
+    nc.p = nc.q = p;
+    nc.n = static_cast<std::size_t>(28000.0 * p);
+    const auto native = lu::simulate_native_cluster(nc, knc_lu, net);
+    const double native_w = nodes * (knc_w + host_sleep_w + overhead_w);
+    t.add_row({"native (card only, host asleep)", util::Table::fmt(nodes),
+               util::Table::fmt(nc.n),
+               util::Table::fmt(native.gflops / 1000.0, 2),
+               util::Table::fmt(native.efficiency * 100, 1),
+               util::Table::fmt(native_w / nodes, 0),
+               util::Table::fmt(native.gflops / native_w, 2)});
+  }
+  t.print("future_native_cluster.csv");
+
+  std::printf(
+      "\nReading: the native cluster loses absolute TFLOPS (smaller in-card "
+      "problems, no host flops) but wins GFLOPS/W — the paper's energy "
+      "argument for the all-coprocessor machine.\n");
+  return 0;
+}

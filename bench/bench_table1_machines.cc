@@ -1,0 +1,46 @@
+// Prints Table I: the system configurations the performance models are
+// parameterized with, plus the derived quantities the paper quotes.
+#include <cstdio>
+
+#include "sim/machine.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+  const auto knc = sim::MachineSpec::knights_corner();
+  const auto snb = sim::MachineSpec::sandy_bridge_ep();
+
+  std::printf("Table I: system configurations\n\n");
+  util::Table table({"property", "Sandy Bridge EP", "Knights Corner"});
+  auto row = [&](const char* name, std::string a, std::string b) {
+    table.add_row({name, std::move(a), std::move(b)});
+  };
+  auto cfg = [](const sim::MachineSpec& m) {
+    return std::to_string(m.sockets) + " x " +
+           std::to_string(m.cores_per_socket) + " x " +
+           std::to_string(m.threads_per_core);
+  };
+  row("sockets x cores x SMT", cfg(snb), cfg(knc));
+  row("clock (GHz)", util::Table::fmt(snb.freq_ghz, 1),
+      util::Table::fmt(knc.freq_ghz, 1));
+  row("SP GFLOPS", util::Table::fmt(snb.peak_gflops(sim::Precision::kSingle), 0),
+      util::Table::fmt(knc.peak_gflops(sim::Precision::kSingle), 0));
+  row("DP GFLOPS", util::Table::fmt(snb.peak_gflops(sim::Precision::kDouble), 0),
+      util::Table::fmt(knc.peak_gflops(sim::Precision::kDouble), 0));
+  row("L1/L2 per core (KB)",
+      std::to_string(snb.l1_bytes / 1024) + " / " +
+          std::to_string(snb.l2_bytes / 1024),
+      std::to_string(knc.l1_bytes / 1024) + " / " +
+          std::to_string(knc.l2_bytes / 1024));
+  row("L3 total (MB)", util::Table::fmt(snb.l3_bytes / (1024.0 * 1024), 0), "-");
+  row("DRAM (GB)", util::Table::fmt(snb.dram_bytes / (1024.0 * 1024 * 1024), 0),
+      util::Table::fmt(knc.dram_bytes / (1024.0 * 1024 * 1024), 0));
+  row("STREAM BW (GB/s)", util::Table::fmt(snb.stream_bw_gbs, 0),
+      util::Table::fmt(knc.stream_bw_gbs, 0));
+  row("compute cores (native)", util::Table::fmt(snb.compute_cores()),
+      util::Table::fmt(knc.compute_cores()));
+  row("native DP peak (GFLOPS)", util::Table::fmt(snb.native_peak_gflops(), 0),
+      util::Table::fmt(knc.native_peak_gflops(), 0));
+  table.print("table1_machines.csv");
+  return 0;
+}

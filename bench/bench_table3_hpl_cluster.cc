@@ -1,0 +1,67 @@
+// Regenerates Table III: achieved HPL performance at node and cluster level
+// for the Knights Corner / host-memory configurations of the paper. The
+// number of nodes is P x Q.
+#include <cstdio>
+#include <string>
+
+#include "core/hybrid_hpl.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+
+  struct Row {
+    const char* system;
+    std::size_t n;
+    int p, q, cards;
+    core::Lookahead scheme;
+    std::size_t mem;
+    double paper_tflops, paper_eff;
+  };
+  using core::Lookahead;
+  const Row rows[] = {
+      {"Sandy Bridge EP, 64GB", 84000, 1, 1, 0, Lookahead::kBasic, 64, 0.29, 86.4},
+      {"Sandy Bridge EP, 64GB", 168000, 2, 2, 0, Lookahead::kBasic, 64, 1.10, 82.8},
+      {"no pipeline, 1 card, 64GB", 84000, 1, 1, 1, Lookahead::kBasic, 64, 0.99, 71.0},
+      {"pipeline, 1 card, 64GB", 84000, 1, 1, 1, Lookahead::kPipelined, 64, 1.12, 79.8},
+      {"no pipeline, 1 card, 64GB", 168000, 2, 2, 1, Lookahead::kBasic, 64, 3.88, 69.1},
+      {"pipeline, 1 card, 64GB", 168000, 2, 2, 1, Lookahead::kPipelined, 64, 4.36, 77.6},
+      {"no pipeline, 1 card, 64GB", 825000, 10, 10, 1, Lookahead::kBasic, 64, 95.2, 67.7},
+      {"pipeline, 1 card, 64GB", 825000, 10, 10, 1, Lookahead::kPipelined, 64, 107.0, 76.1},
+      {"no pipeline, 2 cards, 64GB", 84000, 1, 1, 2, Lookahead::kBasic, 64, 1.66, 68.2},
+      {"pipeline, 2 cards, 64GB", 84000, 1, 1, 2, Lookahead::kPipelined, 64, 1.87, 76.6},
+      {"no pipeline, 2 cards, 64GB", 166000, 2, 2, 2, Lookahead::kBasic, 64, 6.36, 65.0},
+      {"pipeline, 2 cards, 64GB", 166000, 2, 2, 2, Lookahead::kPipelined, 64, 7.15, 73.1},
+      {"no pipeline, 2 cards, 64GB", 822000, 10, 10, 2, Lookahead::kBasic, 64, 156.5, 64.0},
+      {"pipeline, 2 cards, 64GB", 822000, 10, 10, 2, Lookahead::kPipelined, 64, 175.8, 71.9},
+      {"pipeline, 1 card, 128GB", 242000, 2, 2, 1, Lookahead::kPipelined, 128, 4.42, 79.6},
+  };
+
+  std::printf("Table III: HPL performance at node and cluster level\n\n");
+  util::Table table({"system", "N", "P", "Q", "TFLOPS", "eff %",
+                     "paper TFLOPS", "paper eff %"});
+  for (const Row& row : rows) {
+    core::HybridHplConfig cfg;
+    cfg.n = row.n;
+    cfg.p = row.p;
+    cfg.q = row.q;
+    cfg.cards = row.cards;
+    cfg.scheme = row.scheme;
+    cfg.host_mem_gib = row.mem;
+    const auto r = core::simulate_hybrid_hpl(cfg);
+    table.add_row({row.system, util::Table::fmt(row.n),
+                   util::Table::fmt(row.p), util::Table::fmt(row.q),
+                   util::Table::fmt(r.gflops / 1000.0, 2),
+                   util::Table::fmt(r.efficiency * 100, 1),
+                   util::Table::fmt(row.paper_tflops, 2),
+                   util::Table::fmt(row.paper_eff, 1)});
+    if (!r.fits_memory)
+      std::printf("WARNING: N=%zu does not fit the configured memory\n", row.n);
+  }
+  table.print("table3_hpl_cluster.csv");
+
+  std::printf(
+      "\nHeadline: the pipelined 10x10 single-card run should deliver >76%% "
+      "efficiency at ~107 TFLOPS.\n");
+  return 0;
+}

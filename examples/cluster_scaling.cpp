@@ -1,0 +1,52 @@
+// Scenario: planning a Knights Corner cluster submission.
+//
+// Scales the pipelined hybrid HPL from 1 to 100 nodes (square grids, memory
+// -scaled problem sizes as TOP500 runs do) and reports the throughput curve,
+// then runs the *functional* distributed HPL on a small 2x2 problem to show
+// the same block-cyclic machinery actually factoring and solving a system
+// over message-passing ranks.
+#include <cstdio>
+
+#include "core/hybrid_hpl.h"
+#include "hpl/distributed.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xphi;
+
+  std::printf("=== Weak scaling, 1 card/node, 64 GiB/node, pipelined ===\n\n");
+  util::Table t({"nodes", "grid", "N", "TFLOPS", "efficiency %",
+                 "vs 1-node eff"});
+  double eff1 = 0;
+  for (int p : {1, 2, 3, 5, 7, 10}) {
+    core::HybridHplConfig cfg;
+    cfg.p = cfg.q = p;
+    // Fill ~82% of aggregate memory, rounded to the panel width.
+    const double mem_bytes = static_cast<double>(p) * p * 64.0 * (1ull << 30);
+    std::size_t n = static_cast<std::size_t>(std::sqrt(mem_bytes * 0.82 / 8.0));
+    n -= n % cfg.nb;
+    cfg.n = n;
+    cfg.cards = 1;
+    cfg.scheme = core::Lookahead::kPipelined;
+    const auto r = core::simulate_hybrid_hpl(cfg);
+    if (p == 1) eff1 = r.efficiency;
+    t.add_row({util::Table::fmt(p * p),
+               std::to_string(p) + "x" + std::to_string(p),
+               util::Table::fmt(cfg.n), util::Table::fmt(r.gflops / 1000.0, 2),
+               util::Table::fmt(r.efficiency * 100, 1),
+               util::Table::fmt(r.efficiency / eff1, 3)});
+  }
+  t.print();
+
+  std::printf(
+      "\n=== Functional check: distributed HPL on a 2x2 in-process grid ===\n\n");
+  const auto res = hpl::run_distributed_hpl(/*n=*/128, /*nb=*/16,
+                                            hpl::Grid{2, 2}, /*seed=*/2024);
+  std::printf("N=128, nb=16, 2x2 ranks: residual = %.4f -> %s\n", res.residual,
+              res.ok ? "PASSED" : "FAILED");
+  std::printf(
+      "\nReading: multi-node losses flatten out near ~4%% once the panel "
+      "broadcast and swaps are pipelined; the same code path that is costed "
+      "by the model solves a real distributed system above.\n");
+  return res.ok ? 0 : 1;
+}

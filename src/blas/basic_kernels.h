@@ -1,0 +1,74 @@
+// Basic Kernel 1 and Basic Kernel 2, written exactly as the paper's
+// Figures 2b and 2c write them, over the emulated MIC vector operations.
+//
+// Both kernels multiply a packed `a` tile (tile_rows x k, column-major, the
+// Figure 3a layout) by a packed `b` tile (k x 8, row-major, Figure 3b),
+// accumulating rows of C in "vector registers":
+//
+//   Basic Kernel 1 (Figure 2b): 31 accumulators v0..v30; every iteration
+//     vloads the b row into v31 and issues 31 vmadds whose a-operand is
+//     1to8-broadcast from memory — 32 vector instructions, all touching
+//     memory (the port-conflict case the pipeline model quantifies).
+//
+//   Basic Kernel 2 (Figure 2c): 30 accumulators v0..v29; a[0..3] is
+//     4to8-broadcast into v30 once per iteration and the first four vmadds
+//     take their a-operand via SWIZZLE_0..SWIZZLE_3 of v30 — no memory
+//     access, the four "holes" that let L1 prefetch fills land.
+//
+// These are the *faithful* kernels (used by tests and the kernel_anatomy
+// example); blas/gemm_tiled.h keeps the generic fast host micro-kernel.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "blas/mic_intrinsics.h"
+
+namespace xphi::blas {
+
+/// Basic Kernel 1: c(31 x 8) += a_tile(31 x k, column-major) * b_tile(k x 8).
+/// `c` is row-major with leading dimension ldc; all 31 rows are written.
+inline void basic_kernel1(const double* a_tile, const double* b_tile,
+                          std::size_t k, double* c, std::size_t ldc) {
+  constexpr std::size_t kRows = 31;
+  mic::vec8d acc[kRows];  // v0..v30 zeroed
+  for (std::size_t i = 0; i < k; ++i) {
+    // v31 = vload(&b[i][0])
+    const mic::vec8d v31 = mic::vload(b_tile + i * mic::kVecLanes);
+    const double* a_col = a_tile + i * kRows;
+    // vmadd v_r, v31, [a_col + r] {1to8}
+    for (std::size_t r = 0; r < kRows; ++r)
+      mic::fmadd_bcast(acc[r], a_col + r, v31);
+  }
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t j = 0; j < mic::kVecLanes; ++j)
+      c[r * ldc + j] += acc[r][j];
+  }
+}
+
+/// Basic Kernel 2: c(30 x 8) += a_tile(30 x k, column-major) * b_tile(k x 8).
+inline void basic_kernel2(const double* a_tile, const double* b_tile,
+                          std::size_t k, double* c, std::size_t ldc) {
+  constexpr std::size_t kRows = 30;
+  mic::vec8d acc[kRows];  // v0..v29 zeroed
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* a_col = a_tile + i * kRows;
+    // v31 = vload(&b[i][0]); v30 = 4to8-broadcast of a[0..3]
+    const mic::vec8d v31 = mic::vload(b_tile + i * mic::kVecLanes);
+    const mic::vec8d v30 = mic::broadcast_4to8(a_col);
+    // The four swizzle-fed vmadds: no memory operand (the L1 port holes).
+    mic::fmadd(acc[0], mic::swizzle<0>(v30), v31);
+    mic::fmadd(acc[1], mic::swizzle<1>(v30), v31);
+    mic::fmadd(acc[2], mic::swizzle<2>(v30), v31);
+    mic::fmadd(acc[3], mic::swizzle<3>(v30), v31);
+    // The remaining 26 vmadds broadcast their a-operand from memory.
+    for (std::size_t r = 4; r < kRows; ++r)
+      mic::fmadd_bcast(acc[r], a_col + r, v31);
+  }
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t j = 0; j < mic::kVecLanes; ++j)
+      c[r * ldc + j] += acc[r][j];
+  }
+}
+
+}  // namespace xphi::blas

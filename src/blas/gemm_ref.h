@@ -1,0 +1,25 @@
+// Reference (naive) GEMM used as the correctness oracle for the tiled
+// kernels. Deliberately simple: triple loop, no blocking.
+#pragma once
+
+#include <cstddef>
+
+#include "util/matrix.h"
+
+namespace xphi::blas {
+
+/// C = alpha * A * B + beta * C, all row-major. A is MxK, B is KxN, C is MxN.
+template <class T>
+void gemm_ref(T alpha, util::MatrixView<const T> a, util::MatrixView<const T> b,
+              T beta, util::MatrixView<T> c) {
+  const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      T acc{};
+      for (std::size_t p = 0; p < k; ++p) acc += a(i, p) * b(p, j);
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+}  // namespace xphi::blas

@@ -1,0 +1,111 @@
+// Tiled GEMM over the Knights Corner packed format (paper Section III-A2).
+//
+// The micro-kernel mirrors the structure of Basic Kernel 2: it accumulates a
+// (tile_rows x 8) block of C in a local array — the stand-in for the 30
+// accumulator vector registers — streaming one column of the packed `a` tile
+// and one row of the packed `b` tile per k-iteration. On the host this
+// compiles to ordinary auto-vectorized code; the cycle-accurate behaviour of
+// the real kernel lives in sim/pipeline.h. What this functional version
+// shares with the real one is the data layout, the loop structure, and the
+// numerics (verified against gemm_ref).
+#pragma once
+
+#include <cstddef>
+
+#include "blas/pack.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace xphi::blas {
+
+/// C(rows x cols) = alpha * (a_tile * b_tile) + beta_or_accumulate.
+/// a_tile: tile_rows x k column-major; b_tile: k x tile_cols row-major.
+/// Writes only the live rows x cols corner (masks the zero padding).
+template <class T, std::size_t kTr = kTileRows, std::size_t kTc = kTileCols>
+void micro_kernel(const T* a_tile, const T* b_tile, std::size_t k, T alpha,
+                  T beta, T* c, std::size_t ldc, std::size_t rows,
+                  std::size_t cols) {
+  T acc[kTr][kTc] = {};
+  for (std::size_t j = 0; j < k; ++j) {
+    const T* a_col = a_tile + j * kTr;   // contiguous column of a
+    const T* b_row = b_tile + j * kTc;   // contiguous row of b
+    for (std::size_t r = 0; r < kTr; ++r) {
+      const T av = a_col[r];
+      for (std::size_t c2 = 0; c2 < kTc; ++c2) acc[r][c2] += av * b_row[c2];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c2 = 0; c2 < cols; ++c2)
+      c[r * ldc + c2] = alpha * acc[r][c2] + beta * c[r * ldc + c2];
+}
+
+/// One outer product over pre-packed operands:
+/// C(MxN) = alpha * Ai * Bi + beta * C.
+template <class T>
+void outer_product_packed(T alpha, const PackedA<T>& a, const PackedB<T>& b,
+                          T beta, util::MatrixView<T> c,
+                          util::ThreadPool* pool = nullptr) {
+  const std::size_t k = a.depth();
+  const std::size_t row_tiles = a.tiles();
+  const std::size_t col_tiles = b.tiles();
+  auto body = [&](std::size_t task) {
+    const std::size_t rt = task / col_tiles;
+    const std::size_t ct = task % col_tiles;
+    const std::size_t r0 = rt * a.tile_rows();
+    const std::size_t c0 = ct * b.tile_cols();
+    micro_kernel<T>(a.tile(rt), b.tile(ct), k, alpha, beta,
+                    c.data() + r0 * c.ld() + c0, c.ld(), a.tile_height(rt),
+                    b.tile_width(ct));
+  };
+  const std::size_t tasks = row_tiles * col_tiles;
+  if (pool != nullptr) {
+    pool->parallel_for(tasks, body);
+  } else {
+    for (std::size_t t = 0; t < tasks; ++t) body(t);
+  }
+}
+
+/// Full GEMM C = alpha*A*B + beta*C decomposed into rank-k outer products
+/// (paper Section III-A: "a sequence of outer products"), packing each chunk
+/// into the Knights Corner-friendly format before multiplying.
+template <class T>
+void gemm_tiled(T alpha, util::MatrixView<const T> a,
+                util::MatrixView<const T> b, T beta, util::MatrixView<T> c,
+                std::size_t chunk_k = 300, util::ThreadPool* pool = nullptr) {
+  const std::size_t big_k = a.cols();
+  if (big_k == 0 || c.rows() == 0 || c.cols() == 0) {
+    // Pure scaling: C = beta * C.
+    for (std::size_t r = 0; r < c.rows(); ++r)
+      for (std::size_t cc = 0; cc < c.cols(); ++cc) c(r, cc) *= beta;
+    return;
+  }
+  PackedA<T> pa;
+  PackedB<T> pb;
+  for (std::size_t k0 = 0; k0 < big_k; k0 += chunk_k) {
+    const std::size_t kc = std::min(chunk_k, big_k - k0);
+    pa.pack(a.block(0, k0, a.rows(), kc));
+    pb.pack(b.block(k0, 0, kc, b.cols()));
+    // beta applies to the first chunk only; later chunks accumulate.
+    outer_product_packed<T>(alpha, pa, pb, k0 == 0 ? beta : T{1}, c, pool);
+  }
+}
+
+/// Column-major GEMM derived from the row-major kernel by operand swap
+/// (paper footnote 3: transposing both sides of C_cm = A_cm * B_cm yields
+/// C_rm = B_rm * A_rm, where each column-major matrix reinterprets in place
+/// as its row-major transpose). All pointers address column-major data with
+/// the given leading dimensions.
+template <class T>
+void gemm_tiled_colmajor(std::size_t m, std::size_t n, std::size_t k, T alpha,
+                         const T* a, std::size_t lda, const T* b,
+                         std::size_t ldb, T beta, T* c, std::size_t ldc,
+                         std::size_t chunk_k = 300,
+                         util::ThreadPool* pool = nullptr) {
+  // Column-major M x K with leading dimension lda == row-major K x M.
+  const util::MatrixView<const T> a_t(a, k, m, lda);
+  const util::MatrixView<const T> b_t(b, n, k, ldb);
+  util::MatrixView<T> c_t(c, n, m, ldc);
+  gemm_tiled<T>(alpha, b_t, a_t, beta, c_t, chunk_k, pool);
+}
+
+}  // namespace xphi::blas

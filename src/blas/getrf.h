@@ -1,0 +1,52 @@
+// Sequential blocked right-looking LU with partial pivoting — the functional
+// oracle the scheduled (DAG / static look-ahead / hybrid) drivers are tested
+// against. Mirrors Figure 5a: factor panel [DL]i, swap rows, forward-solve
+// the U row panel, GEMM-update the trailing matrix, advance.
+#pragma once
+
+#include <span>
+
+#include "blas/lu_kernels.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace xphi::blas {
+
+/// In-place blocked LU of the square matrix `a` with panel width nb.
+/// ipiv[i] records the absolute row swapped with row i.
+/// Returns false on an exactly zero pivot.
+template <class T>
+bool getrf_blocked(util::MatrixView<T> a, std::span<std::size_t> ipiv,
+                   std::size_t nb = 64, util::ThreadPool* pool = nullptr) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && ipiv.size() >= n);
+  for (std::size_t i = 0; i < n; i += nb) {
+    const std::size_t jb = std::min(nb, n - i);
+    // Panel factorization of the (n-i) x jb panel.
+    auto panel = a.block(i, i, n - i, jb);
+    if (!getrf_panel<T>(panel, ipiv.subspan(i, jb))) return false;
+    // Make pivots absolute.
+    for (std::size_t j = 0; j < jb; ++j) ipiv[i + j] += i;
+    // Apply the interchanges to the columns left and right of the panel.
+    if (i > 0) {
+      auto left = a.block(0, 0, n, i);
+      laswp<T>(left, std::span<const std::size_t>(ipiv.data(), n), i, i + jb);
+    }
+    if (i + jb < n) {
+      auto right = a.block(0, i + jb, n, n - i - jb);
+      laswp<T>(right, std::span<const std::size_t>(ipiv.data(), n), i, i + jb);
+      // U row panel: solve L11 * U12 = A12.
+      auto l11 = a.block(i, i, jb, jb);
+      auto u12 = a.block(i, i + jb, jb, n - i - jb);
+      trsm_left_lower_unit<T>(l11, u12);
+      // Trailing update: A22 -= L21 * U12.
+      auto l21 = a.block(i + jb, i, n - i - jb, jb);
+      auto a22 = a.block(i + jb, i + jb, n - i - jb, n - i - jb);
+      gemm_tiled<T>(T{-1}, l21, u12, T{1}, a22,
+                    /*chunk_k=*/jb, pool);
+    }
+  }
+  return true;
+}
+
+}  // namespace xphi::blas

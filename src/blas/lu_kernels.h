@@ -1,0 +1,196 @@
+// The LU building blocks the Linpack drivers compose (paper Section IV):
+// DGETRF panel factorization with partial pivoting, DLASWP row swapping and
+// DTRSM forward solve, plus the triangular substitutions for the final
+// Ax = b solve. All operate in place on row-major views.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "blas/gemm_tiled.h"
+#include "util/matrix.h"
+
+namespace xphi::blas {
+
+template <class T>
+void trsm_left_lower_unit(util::MatrixView<const T> l, util::MatrixView<T> b);
+template <class T>
+void trsm_left_upper(util::MatrixView<const T> u, util::MatrixView<T> b);
+
+/// Index of the element with the largest magnitude in column `col` of `a`,
+/// searching rows [row0, a.rows()).
+template <class T>
+std::size_t iamax_col(util::MatrixView<const T> a, std::size_t col,
+                      std::size_t row0) {
+  std::size_t best = row0;
+  T best_abs = std::abs(a(row0, col));
+  for (std::size_t r = row0 + 1; r < a.rows(); ++r) {
+    const T v = std::abs(a(r, col));
+    if (v > best_abs) {
+      best_abs = v;
+      best = r;
+    }
+  }
+  return best;
+}
+
+/// Swaps rows r1 and r2 across all columns of `a`.
+template <class T>
+void swap_rows(util::MatrixView<T> a, std::size_t r1, std::size_t r2) {
+  if (r1 == r2) return;
+  T* p1 = a.row(r1);
+  T* p2 = a.row(r2);
+  for (std::size_t c = 0; c < a.cols(); ++c) std::swap(p1[c], p2[c]);
+}
+
+/// DLASWP: applies the row interchanges recorded in ipiv[k0..k1) to `a`.
+/// ipiv[i] is the absolute row index swapped with row i (LAPACK convention
+/// with zero-based indices and no offset).
+template <class T>
+void laswp(util::MatrixView<T> a, std::span<const std::size_t> ipiv,
+           std::size_t k0, std::size_t k1, bool forward = true) {
+  if (forward) {
+    for (std::size_t i = k0; i < k1; ++i) swap_rows(a, i, ipiv[i]);
+  } else {
+    for (std::size_t i = k1; i-- > k0;) swap_rows(a, i, ipiv[i]);
+  }
+}
+
+/// Unblocked DGETRF of an m x n panel (m >= n): right-looking with partial
+/// pivoting. Writes pivots into ipiv[0..n) as row indices local to the view.
+/// Returns false if an exactly zero pivot is hit (matrix singular).
+template <class T>
+bool getrf_unblocked(util::MatrixView<T> a, std::span<std::size_t> ipiv) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t steps = m < n ? m : n;
+  assert(ipiv.size() >= steps);
+  for (std::size_t j = 0; j < steps; ++j) {
+    const std::size_t p = iamax_col<T>(a, j, j);
+    ipiv[j] = p;
+    swap_rows(a, j, p);
+    const T pivot = a(j, j);
+    if (pivot == T{}) return false;
+    const T inv = T{1} / pivot;
+    for (std::size_t r = j + 1; r < m; ++r) a(r, j) *= inv;
+    // Rank-1 update of the trailing block (row-major friendly).
+    for (std::size_t r = j + 1; r < m; ++r) {
+      const T l = a(r, j);
+      if (l == T{}) continue;
+      const T* urow = a.row(j);
+      T* arow = a.row(r);
+      for (std::size_t c = j + 1; c < n; ++c) arow[c] -= l * urow[c];
+    }
+  }
+  return true;
+}
+
+/// Recursive blocked DGETRF of an m x n panel (m >= n). Splits the columns,
+/// factors the left half, applies it to the right half (swap + TRSM + GEMM),
+/// then factors the trailing right half. This is the "highly optimized panel
+/// factorization" shape the native Linpack uses.
+template <class T>
+bool getrf_panel(util::MatrixView<T> a, std::span<std::size_t> ipiv,
+                 std::size_t leaf = 8) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (n <= leaf || m <= 1) return getrf_unblocked<T>(a, ipiv);
+  const std::size_t n1 = n / 2;
+  const std::size_t n2 = n - n1;
+
+  auto left = a.block(0, 0, m, n1);
+  if (!getrf_panel<T>(left, ipiv.subspan(0, n1), leaf)) return false;
+
+  auto right = a.block(0, n1, m, n2);
+  laswp<T>(right, std::span<const std::size_t>(ipiv.data(), n1), 0, n1);
+  // TRSM: solve L11 * X = B for the top n1 rows of the right half.
+  auto l11 = a.block(0, 0, n1, n1);
+  auto b_top = a.block(0, n1, n1, n2);
+  trsm_left_lower_unit<T>(l11, b_top);
+  // GEMM: trailing update of the bottom rows of the right half.
+  if (m > n1) {
+    auto a21 = a.block(n1, 0, m - n1, n1);
+    auto b_bot = a.block(n1, n1, m - n1, n2);
+    gemm_tiled<T>(T{-1}, a21, b_top, T{1}, b_bot,
+                  /*chunk_k=*/n1 < 300 ? (n1 ? n1 : 1) : 300);
+  }
+  auto bottom = a.block(n1, n1, m - n1, n2);
+  if (!getrf_panel<T>(bottom, ipiv.subspan(n1, n2), leaf)) return false;
+  // Adjust pivots of the second half to be relative to the whole panel and
+  // apply them to the left columns.
+  for (std::size_t i = 0; i < n2; ++i) {
+    ipiv[n1 + i] += n1;
+    if (ipiv[n1 + i] != n1 + i) {
+      auto left_cols = a.block(0, 0, m, n1);
+      swap_rows(left_cols, n1 + i, ipiv[n1 + i]);
+    }
+  }
+  return true;
+}
+
+/// DTRSM, left side, lower triangular, unit diagonal:
+/// solves L * X = B in place (B becomes X). L is n x n, B is n x m.
+template <class T>
+void trsm_left_lower_unit(util::MatrixView<const T> l, util::MatrixView<T> b) {
+  const std::size_t n = l.rows();
+  assert(l.cols() == n && b.rows() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T* bi = b.row(i);
+    for (std::size_t kk = 0; kk < i; ++kk) {
+      const T lik = l(i, kk);
+      if (lik == T{}) continue;
+      const T* bk = b.row(kk);
+      for (std::size_t c = 0; c < b.cols(); ++c) bi[c] -= lik * bk[c];
+    }
+  }
+}
+
+/// DTRSM, left side, upper triangular, non-unit diagonal:
+/// solves U * X = B in place.
+template <class T>
+void trsm_left_upper(util::MatrixView<const T> u, util::MatrixView<T> b) {
+  const std::size_t n = u.rows();
+  assert(u.cols() == n && b.rows() == n);
+  for (std::size_t i = n; i-- > 0;) {
+    T* bi = b.row(i);
+    for (std::size_t kk = i + 1; kk < n; ++kk) {
+      const T uik = u(i, kk);
+      if (uik == T{}) continue;
+      const T* bk = b.row(kk);
+      for (std::size_t c = 0; c < b.cols(); ++c) bi[c] -= uik * bk[c];
+    }
+    const T inv = T{1} / u(i, i);
+    for (std::size_t c = 0; c < b.cols(); ++c) bi[c] *= inv;
+  }
+}
+
+/// Solves A x = b given the in-place LU factors and pivot vector of A.
+/// b is overwritten with x.
+template <class T>
+void lu_solve_vector(util::MatrixView<const T> lu,
+                     std::span<const std::size_t> ipiv, std::span<T> b) {
+  const std::size_t n = lu.rows();
+  assert(lu.cols() == n && b.size() == n && ipiv.size() >= n);
+  // Apply the recorded interchanges to b.
+  for (std::size_t i = 0; i < n; ++i)
+    if (ipiv[i] != i) std::swap(b[i], b[ipiv[i]]);
+  // Forward substitution with unit lower L.
+  for (std::size_t i = 1; i < n; ++i) {
+    T acc = b[i];
+    const T* row = lu.row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * b[j];
+    b[i] = acc;
+  }
+  // Back substitution with upper U.
+  for (std::size_t i = n; i-- > 0;) {
+    T acc = b[i];
+    const T* row = lu.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) acc -= row[j] * b[j];
+    b[i] = acc / row[i];
+  }
+}
+
+}  // namespace xphi::blas

@@ -1,0 +1,93 @@
+// Emulation of the Knights Corner vector operations the paper's kernels are
+// written in (Figure 1).
+//
+// The real kernels are hand-coded MIC assembly over 512-bit registers. This
+// header provides an executable model of exactly the operations Figures 1a
+// and 1b introduce —
+//
+//   * vload           : aligned load of 8 doubles,
+//   * broadcast_1to8  : one double replicated eight times (Basic Kernel 1's
+//                       memory-operand form),
+//   * broadcast_4to8  : four doubles replicated twice (Figure 1a),
+//   * swizzle<i>      : the i-th element of each 4-element lane replicated
+//                       four times within its lane (Figure 1b shows i = 2),
+//   * fmadd           : fused multiply-add v0 += v1 * v2,
+//
+// — so blas/basic_kernels.h can express Basic Kernel 1 and Basic Kernel 2
+// exactly as Figures 2b/2c write them, and the tests can pin the operand
+// semantics the pipeline/SMT models assume.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace xphi::blas::mic {
+
+inline constexpr std::size_t kVecLanes = 8;  // 512 bits of doubles
+
+/// A 512-bit vector register of 8 doubles.
+struct vec8d {
+  std::array<double, kVecLanes> v{};
+
+  double operator[](std::size_t i) const noexcept { return v[i]; }
+  double& operator[](std::size_t i) noexcept { return v[i]; }
+
+  friend bool operator==(const vec8d&, const vec8d&) = default;
+};
+
+/// Aligned vector load of 8 consecutive doubles.
+inline vec8d vload(const double* p) noexcept {
+  vec8d r;
+  for (std::size_t i = 0; i < kVecLanes; ++i) r.v[i] = p[i];
+  return r;
+}
+
+/// Vector store.
+inline void vstore(double* p, const vec8d& a) noexcept {
+  for (std::size_t i = 0; i < kVecLanes; ++i) p[i] = a.v[i];
+}
+
+/// 1to8 broadcast: "takes a single double-precision element and replicates
+/// it eight times".
+inline vec8d broadcast_1to8(const double* p) noexcept {
+  vec8d r;
+  for (std::size_t i = 0; i < kVecLanes; ++i) r.v[i] = *p;
+  return r;
+}
+
+/// 4to8 broadcast: "replicates four double-precision elements twice"
+/// (Figure 1a: v0 = {A3,A2,A1,A0, A3,A2,A1,A0} in lane order).
+inline vec8d broadcast_4to8(const double* p) noexcept {
+  vec8d r;
+  for (std::size_t i = 0; i < kVecLanes; ++i) r.v[i] = p[i % 4];
+  return r;
+}
+
+/// SWIZZLE_i: "replicates the i-th element of the 4-element lane four times
+/// in each lane" (Figure 1b: i=2 turns {h,g,f,e, d,c,b,a} into
+/// {f,f,f,f, b,b,b,b}).
+template <std::size_t kIndex>
+inline vec8d swizzle(const vec8d& a) noexcept {
+  static_assert(kIndex < 4, "swizzle selects within a 4-element lane");
+  vec8d r;
+  for (std::size_t lane = 0; lane < 2; ++lane)
+    for (std::size_t i = 0; i < 4; ++i)
+      r.v[lane * 4 + i] = a.v[lane * 4 + kIndex];
+  return r;
+}
+
+/// Fused multiply-add: acc += a * b (the vmadd231pd shape of Figure 2).
+inline void fmadd(vec8d& acc, const vec8d& a, const vec8d& b) noexcept {
+  for (std::size_t i = 0; i < kVecLanes; ++i) acc.v[i] += a.v[i] * b.v[i];
+}
+
+/// Fused multiply-add with the second operand 1to8-broadcast from memory —
+/// the "vector operations can take one of their operands from memory" form
+/// Basic Kernel 1 leans on.
+inline void fmadd_bcast(vec8d& acc, const double* a_elem,
+                        const vec8d& b) noexcept {
+  const double a = *a_elem;
+  for (std::size_t i = 0; i < kVecLanes; ++i) acc.v[i] += a * b.v[i];
+}
+
+}  // namespace xphi::blas::mic

@@ -1,0 +1,43 @@
+// The HPL correctness check. A factorization "passes" when the scaled
+// residual ||Ax - b||_oo / (eps * (||A||_oo * ||x||_oo + ||b||_oo) * N)
+// is below 16 — the same acceptance test the benchmark in the paper runs
+// after every timed solve.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "util/matrix.h"
+
+namespace xphi::blas {
+
+inline constexpr double kHplResidualThreshold = 16.0;
+
+/// Scaled HPL residual for the solve A x = b.
+/// `a` is the ORIGINAL (unfactored) matrix.
+template <class T>
+double hpl_residual(util::MatrixView<const T> a, std::span<const T> x,
+                    std::span<const T> b) {
+  const std::size_t n = a.rows();
+  double r_inf = 0, x_inf = 0, b_inf = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    const T* row = a.row(i);
+    for (std::size_t j = 0; j < n; ++j)
+      acc += static_cast<double>(row[j]) * static_cast<double>(x[j]);
+    const double r = std::abs(acc - static_cast<double>(b[i]));
+    if (r > r_inf) r_inf = r;
+    const double xa = std::abs(static_cast<double>(x[i]));
+    if (xa > x_inf) x_inf = xa;
+    const double ba = std::abs(static_cast<double>(b[i]));
+    if (ba > b_inf) b_inf = ba;
+  }
+  const double a_inf = util::norm_inf<T>(a);
+  const double eps = std::numeric_limits<T>::epsilon();
+  const double denom = eps * (a_inf * x_inf + b_inf) * static_cast<double>(n);
+  return denom > 0 ? r_inf / denom : r_inf;
+}
+
+}  // namespace xphi::blas

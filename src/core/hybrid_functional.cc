@@ -1,0 +1,125 @@
+#include "core/hybrid_functional.h"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "blas/lu_kernels.h"
+#include "blas/residual.h"
+#include "util/rng.h"
+
+namespace xphi::core {
+
+namespace {
+using util::Matrix;
+using util::MatrixView;
+}  // namespace
+
+HybridFunctionalResult run_functional_hybrid_hpl(
+    const HybridFunctionalConfig& cfg, std::uint64_t seed) {
+  HybridFunctionalResult res;
+  const std::size_t n = cfg.n;
+  const std::size_t nb = cfg.nb;
+
+  Matrix<double> a(n, n), orig(n, n);
+  util::fill_hpl_matrix(a.view(), seed);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) orig(r, c) = a(r, c);
+  std::vector<std::size_t> ipiv(n);
+
+  // Factor panel `p` in place and make its pivots absolute. Returns false on
+  // a zero pivot.
+  auto factor_panel = [&](std::size_t i0) {
+    const std::size_t pw = std::min(nb, n - i0);
+    auto panel = a.block(i0, i0, n - i0, pw);
+    auto piv = std::span<std::size_t>(ipiv).subspan(i0, pw);
+    if (!blas::getrf_panel<double>(panel, piv)) return false;
+    for (std::size_t t = 0; t < pw; ++t) piv[t] += i0;
+    return true;
+  };
+
+  // Offload-shaped trailing update of columns [c0, c0+ncols) at stage i0.
+  auto update_columns = [&](std::size_t i0, std::size_t pw, std::size_t c0,
+                            std::size_t ncols) {
+    if (ncols == 0) return;
+    // Pivot + forward solve for this column range.
+    auto block = a.block(i0, c0, n - i0, ncols);
+    for (std::size_t t = 0; t < pw; ++t)
+      blas::swap_rows(block, t, ipiv[i0 + t] - i0);
+    auto l11 = a.block(i0, i0, pw, pw);
+    auto u = a.block(i0, c0, pw, ncols);
+    blas::trsm_left_lower_unit<double>(
+        util::MatrixView<const double>(l11), u);
+    if (n > i0 + pw) {
+      auto l21 = a.block(i0 + pw, i0, n - i0 - pw, pw);
+      auto c = a.block(i0 + pw, c0, n - i0 - pw, ncols);
+      // The offload engine: card threads + queues + two-ended stealing.
+      offload_gemm_functional(-1.0,
+                              util::MatrixView<const double>(l21),
+                              util::MatrixView<const double>(u), c,
+                              cfg.offload);
+    }
+  };
+
+  if (!factor_panel(0)) return res;
+  for (std::size_t i0 = 0; i0 < n; i0 += nb) {
+    const std::size_t pw = std::min(nb, n - i0);
+    // Apply this stage's interchanges to the columns LEFT of the panel.
+    if (i0 > 0) {
+      auto left = a.block(0, 0, n, i0);
+      blas::laswp<double>(left, std::span<const std::size_t>(ipiv.data(), n),
+                          i0, i0 + pw);
+    }
+    const std::size_t trail0 = i0 + pw;
+    if (trail0 >= n) break;
+    const std::size_t next_pw = std::min(nb, n - trail0);
+    const bool can_lookahead = cfg.scheme != FunctionalScheme::kNoLookahead &&
+                               trail0 + next_pw <= n;
+    if (cfg.scheme == FunctionalScheme::kPipelined && can_lookahead) {
+      // Pipelined look-ahead (Figure 8c): swap + solve + update advance one
+      // column subset at a time. The next panel's columns form the first
+      // subset; once they are updated, the panel factors asynchronously
+      // while the remaining subsets stream through.
+      update_columns(i0, pw, trail0, next_pw);
+      ++res.pipelined_subsets;
+      auto panel_future =
+          std::async(std::launch::async, [&] { return factor_panel(trail0); });
+      const std::size_t rest0 = trail0 + next_pw;
+      const std::size_t rest = n - rest0;
+      const int subsets = std::max(1, cfg.pipeline_subsets);
+      const std::size_t chunk =
+          std::max<std::size_t>(1, (rest + subsets - 1) / subsets);
+      for (std::size_t c0 = rest0; c0 < n; c0 += chunk) {
+        update_columns(i0, pw, c0, std::min(chunk, n - c0));
+        ++res.pipelined_subsets;
+      }
+      if (!panel_future.get()) return res;
+      ++res.lookahead_panels;
+    } else if (can_lookahead) {
+      // Basic look-ahead: free the next panel's columns first, then factor
+      // them on a concurrent "host" thread while the offload engine chews
+      // the rest of the trailing update.
+      update_columns(i0, pw, trail0, next_pw);
+      auto panel_future =
+          std::async(std::launch::async, [&] { return factor_panel(trail0); });
+      update_columns(i0, pw, trail0 + next_pw, n - trail0 - next_pw);
+      if (!panel_future.get()) return res;
+      ++res.lookahead_panels;
+    } else {
+      update_columns(i0, pw, trail0, n - trail0);
+      if (!factor_panel(trail0)) return res;
+    }
+  }
+
+  // Solve and check.
+  std::vector<double> b(n), x(n);
+  util::Rng rng(seed ^ 0xb0b);
+  for (auto& v : b) v = rng.next_centered();
+  x = b;
+  blas::lu_solve_vector<double>(a.view(), ipiv, x);
+  res.residual = blas::hpl_residual<double>(orig.view(), x, b);
+  res.ok = res.residual < blas::kHplResidualThreshold;
+  return res;
+}
+
+}  // namespace xphi::core

@@ -1,0 +1,127 @@
+#include "core/offload_functional.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "blas/gemm_tiled.h"
+#include "blas/pack.h"
+#include "core/tile_grid.h"
+#include "pci/queue.h"
+
+namespace xphi::core {
+
+namespace {
+
+using util::Matrix;
+using util::MatrixView;
+
+/// A DGEMM request crossing the (simulated) PCIe link: packed operands of
+/// one tile, exactly what the host-side copy/pack cores produce (step 1-3
+/// in Figure 10b).
+struct TileRequest {
+  std::size_t tile_index = 0;
+  std::size_t rows = 0, cols = 0, depth = 0;
+  blas::PackedA<double> a;
+  blas::PackedB<double> b;
+};
+
+/// The result tile coming back (step 7-9): the product block, to be
+/// accumulated into C by the host.
+struct TileResult {
+  std::size_t tile_index = 0;
+  std::unique_ptr<Matrix<double>> product;
+};
+
+}  // namespace
+
+FunctionalOffloadStats offload_gemm_functional(
+    double alpha, MatrixView<const double> a, MatrixView<const double> b,
+    MatrixView<double> c, const FunctionalOffloadConfig& cfg) {
+  FunctionalOffloadStats stats;
+  const std::size_t k = a.cols();
+  TileGrid grid(c.rows(), c.cols(), cfg.mt, cfg.nt, cfg.merge_partial_tiles);
+  stats.tiles_total = grid.count();
+
+  pci::BlockingQueue<TileRequest> requests(8);
+  pci::BlockingQueue<TileResult> results(8);
+  std::atomic<std::size_t> cards_tiles{0};
+  std::atomic<std::size_t> host_tiles{0};
+
+  // "Coprocessor" threads: poll the request queue, multiply packed tiles
+  // with the Basic Kernel 2-shaped micro kernel, return the product.
+  std::vector<std::thread> cards;
+  cards.reserve(cfg.cards);
+  for (int card = 0; card < cfg.cards; ++card) {
+    cards.emplace_back([&] {
+      while (auto req = requests.dequeue()) {
+        TileResult res;
+        res.tile_index = req->tile_index;
+        res.product = std::make_unique<Matrix<double>>(req->rows, req->cols);
+        res.product->fill(0.0);
+        blas::outer_product_packed<double>(1.0, req->a, req->b, 0.0,
+                                           res.product->view());
+        cards_tiles.fetch_add(1, std::memory_order_relaxed);
+        results.enqueue(std::move(res));
+      }
+    });
+  }
+
+  // Host accumulator thread (step 10): fold device results into C.
+  std::atomic<std::size_t> accumulated{0};
+  std::thread accumulator([&] {
+    while (auto res = results.dequeue()) {
+      const Tile& t = grid.tile(res->tile_index);
+      for (std::size_t r = 0; r < t.rows; ++r)
+        for (std::size_t cc = 0; cc < t.cols; ++cc)
+          c(t.r0 + r, t.c0 + cc) += alpha * (*res->product)(r, cc);
+      accumulated.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Optional host-compute thread stealing from the lower-right corner.
+  std::thread host_worker;
+  if (cfg.host_steals) {
+    host_worker = std::thread([&] {
+      while (auto idx = grid.steal_back()) {
+        const Tile& t = grid.tile(*idx);
+        auto cb = c.block(t.r0, t.c0, t.rows, t.cols);
+        blas::gemm_tiled<double>(alpha, a.block(t.r0, 0, t.rows, k),
+                                 b.block(0, t.c0, k, t.cols), 1.0, cb,
+                                 /*chunk_k=*/k == 0 ? 1 : k);
+        host_tiles.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Main thread plays the designated pack/DMA cores: steal from the front,
+  // pack operands into the Knights Corner format, enqueue.
+  std::size_t sent = 0;
+  while (auto idx = grid.steal_front()) {
+    const Tile& t = grid.tile(*idx);
+    TileRequest req;
+    req.tile_index = *idx;
+    req.rows = t.rows;
+    req.cols = t.cols;
+    req.depth = k;
+    req.a.pack(a.block(t.r0, 0, t.rows, k));
+    req.b.pack(b.block(0, t.c0, k, t.cols));
+    requests.enqueue(std::move(req));
+    ++sent;
+  }
+  requests.close();
+  for (auto& th : cards) th.join();
+  if (host_worker.joinable()) host_worker.join();
+  // All card results are in flight or queued; close once drained.
+  while (accumulated.load(std::memory_order_relaxed) < sent)
+    std::this_thread::yield();
+  results.close();
+  accumulator.join();
+
+  stats.tiles_cards = cards_tiles.load();
+  stats.tiles_host = host_tiles.load();
+  return stats;
+}
+
+}  // namespace xphi::core

@@ -1,0 +1,40 @@
+// Functional (real-numerics) twin of offload DGEMM.
+//
+// Mirrors Figure 10b with host threads standing in for the coprocessor(s):
+// the host packs each stolen tile's operands into Knights Corner tile format
+// and enqueues a request; a card thread dequeues, runs the tiled GEMM kernel
+// on the packed operands into a "device-memory" buffer, and enqueues the
+// result; an accumulator thread folds results back into the original C. The
+// host can simultaneously steal tiles from the opposite corner and compute
+// them in place. Tests validate the result against the reference GEMM, that
+// every tile is processed exactly once, and that partial-tile merging covers
+// ragged shapes.
+#pragma once
+
+#include <cstddef>
+
+#include "util/matrix.h"
+
+namespace xphi::core {
+
+struct FunctionalOffloadConfig {
+  std::size_t mt = 64, nt = 64;  // tile size
+  int cards = 1;
+  bool host_steals = true;
+  bool merge_partial_tiles = true;
+};
+
+struct FunctionalOffloadStats {
+  std::size_t tiles_total = 0;
+  std::size_t tiles_cards = 0;
+  std::size_t tiles_host = 0;
+};
+
+/// C (m x n) += alpha * A (m x k) * B (k x n), executed with the offload
+/// structure. Returns per-run statistics.
+FunctionalOffloadStats offload_gemm_functional(
+    double alpha, util::MatrixView<const double> a,
+    util::MatrixView<const double> b, util::MatrixView<double> c,
+    const FunctionalOffloadConfig& config = {});
+
+}  // namespace xphi::core

@@ -1,0 +1,60 @@
+#include "core/tile_grid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xphi::core {
+
+std::vector<std::pair<std::size_t, std::size_t>> merged_spans(
+    std::size_t extent, std::size_t t, bool merge_partials) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  if (extent == 0 || t == 0) return spans;
+  if (extent <= t) {
+    spans.emplace_back(0, extent);
+    return spans;
+  }
+  const std::size_t full = extent / t;
+  const std::size_t rem = extent % t;
+  for (std::size_t i = 0; i < full; ++i) spans.emplace_back(i * t, t);
+  if (rem > 0) {
+    if (merge_partials) {
+      spans.back().second += rem;  // last full tile absorbs the remainder
+    } else {
+      spans.emplace_back(full * t, rem);
+    }
+  }
+  return spans;
+}
+
+TileGrid::TileGrid(std::size_t m, std::size_t n, std::size_t mt,
+                   std::size_t nt, bool merge_partials) {
+  const auto rows = merged_spans(m, mt, merge_partials);
+  const auto cols = merged_spans(n, nt, merge_partials);
+  row_tiles_ = rows.size();
+  col_tiles_ = cols.size();
+  tiles_.reserve(row_tiles_ * col_tiles_);
+  // Column-major: the coprocessor walks down each column of tiles so the
+  // packed B panel of a column is reused across its row tiles.
+  for (const auto& [c0, nc] : cols)
+    for (const auto& [r0, nr] : rows) tiles_.push_back({r0, c0, nr, nc});
+  back_ = tiles_.size();
+}
+
+std::optional<std::size_t> TileGrid::steal_front() {
+  std::lock_guard lk(mu_);
+  if (front_ >= back_) return std::nullopt;
+  return front_++;
+}
+
+std::optional<std::size_t> TileGrid::steal_back() {
+  std::lock_guard lk(mu_);
+  if (front_ >= back_) return std::nullopt;
+  return --back_;
+}
+
+std::size_t TileGrid::remaining() const {
+  std::lock_guard lk(mu_);
+  return back_ - front_;
+}
+
+}  // namespace xphi::core

@@ -1,0 +1,55 @@
+// Tile decomposition of the offload-DGEMM output matrix and the two-ended
+// dynamic work-stealing order (paper Section V-B, Figure 10a).
+//
+// The C matrix is cut into Mt x Nt tiles. Knights Corner starts at the
+// upper-left tile (C00) and steals forward in column-major order; the host
+// starts at the lower-right tile and steals backward. When the matrix size
+// is not a multiple of the tile size, the trailing partial tile of each row
+// and column is merged into its neighbour so no undersized tile ever crosses
+// the PCIe link ("we merge the last two tiles ... and process them
+// together").
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace xphi::core {
+
+struct Tile {
+  std::size_t r0 = 0, c0 = 0;
+  std::size_t rows = 0, cols = 0;
+};
+
+/// Computes merged 1-D tile boundaries covering `extent` with nominal tile
+/// size `t`: full tiles except the last, which absorbs any remainder.
+std::vector<std::pair<std::size_t, std::size_t>> merged_spans(
+    std::size_t extent, std::size_t t, bool merge_partials);
+
+class TileGrid {
+ public:
+  TileGrid(std::size_t m, std::size_t n, std::size_t mt, std::size_t nt,
+           bool merge_partials = true);
+
+  std::size_t count() const noexcept { return tiles_.size(); }
+  const Tile& tile(std::size_t idx) const noexcept { return tiles_[idx]; }
+  std::size_t row_tiles() const noexcept { return row_tiles_; }
+  std::size_t col_tiles() const noexcept { return col_tiles_; }
+
+  /// Steals the next tile from the front (coprocessor side). Thread-safe.
+  std::optional<std::size_t> steal_front();
+  /// Steals the next tile from the back (host side). Thread-safe.
+  std::optional<std::size_t> steal_back();
+  /// Tiles not yet stolen.
+  std::size_t remaining() const;
+
+ private:
+  std::vector<Tile> tiles_;  // column-major order: C00, C10, ..., C01, ...
+  std::size_t row_tiles_ = 0, col_tiles_ = 0;
+  mutable std::mutex mu_;
+  std::size_t front_ = 0;
+  std::size_t back_ = 0;  // one past the last unstolen tile
+};
+
+}  // namespace xphi::core

@@ -1,0 +1,51 @@
+// HPL.dat-style run configuration.
+//
+// The real HPL benchmark reads its sweep (problem sizes, panel widths,
+// process grids) from HPL.dat; the xhpl example binary here does the same,
+// extended with the knobs this implementation adds (cards per node,
+// look-ahead scheme, host memory). Format: `key: values...` lines, `#`
+// comments; unknown keys are reported, not ignored silently.
+//
+//   Ns:        84000 168000
+//   NBs:       1200
+//   grids:     1x1 2x2        # PxQ pairs
+//   cards:     0 1 2
+//   scheme:    pipelined       # none | basic | pipelined
+//   memory:    64              # GiB per node
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_hpl.h"
+
+namespace xphi::hpl {
+
+struct RunConfig {
+  std::vector<std::size_t> ns = {84000};
+  std::vector<std::size_t> nbs = {1200};
+  std::vector<std::pair<int, int>> grids = {{1, 1}};
+  std::vector<int> cards = {1};
+  core::Lookahead scheme = core::Lookahead::kPipelined;
+  std::size_t memory_gib = 64;
+
+  /// All (n, nb, grid, cards) combinations, HPL-style.
+  std::size_t combinations() const {
+    return ns.size() * nbs.size() * grids.size() * cards.size();
+  }
+};
+
+struct ParseResult {
+  bool ok = false;
+  RunConfig config;
+  std::string error;  // first problem encountered, empty when ok
+};
+
+/// Parses the HPL.dat-style text above.
+ParseResult parse_run_config(const std::string& text);
+
+/// Loads and parses a config file; missing file yields ok=false.
+ParseResult load_run_config(const std::string& path);
+
+}  // namespace xphi::hpl

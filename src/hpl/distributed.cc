@@ -1,0 +1,523 @@
+#include "hpl/distributed.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <mutex>
+
+#include "blas/gemm_tiled.h"
+#include "blas/lu_kernels.h"
+#include "blas/residual.h"
+#include "net/world.h"
+#include "util/rng.h"
+
+namespace xphi::hpl {
+
+namespace {
+
+using net::Comm;
+using net::Payload;
+using util::Matrix;
+using util::MatrixView;
+
+// Message tags, combined with the stage index (stage * kTagStride + tag).
+constexpr int kTagStride = 8;
+constexpr int kTagPanelGather = 0;
+constexpr int kTagPanelBcast = 1;
+constexpr int kTagSwap = 2;
+constexpr int kTagUBcast = 3;
+constexpr int kTagGather = 4;
+
+struct RankContext {
+  const BlockCyclic* dist = nullptr;
+  Comm* comm = nullptr;
+  const DistributedHplOptions* options = nullptr;
+  int prow = 0, pcol = 0;
+  Matrix<double> local;  // local block-cyclic share, row-major
+
+  std::size_t lrows() const { return dist->local_rows(prow); }
+  std::size_t lcols() const { return dist->local_cols(pcol); }
+
+  /// First local row whose global index is >= g.
+  std::size_t local_row_lower_bound(std::size_t g) const {
+    std::size_t lo = 0;
+    while (lo < lrows() && dist->global_row(prow, lo) < g) ++lo;
+    return lo;
+  }
+  std::size_t local_col_lower_bound(std::size_t g) const {
+    std::size_t lo = 0;
+    while (lo < lcols() && dist->global_col(pcol, lo) < g) ++lo;
+    return lo;
+  }
+};
+
+/// One LU stage on every rank. `panel` and `ipiv` are outputs on all ranks
+/// (the broadcast factored panel, rows indexed by global row - k0).
+void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const std::size_t n = dist.n();
+  const std::size_t nb = dist.nb();
+  const std::size_t k0 = bk * nb;
+  const std::size_t pw = std::min(nb, n - k0);
+  const int pc = static_cast<int>(bk % grid.q);  // panel process column
+  const int pr = static_cast<int>(bk % grid.p);  // panel process row
+  const int root = grid.rank_of(pr, pc);
+  const int stage_tag = static_cast<int>(bk) * kTagStride;
+
+  // --- 1. Gather the panel (global rows >= k0, panel columns) to root. ---
+  Payload assembled;  // (n - k0) x pw, row-major, indexed by global row - k0
+  if (ctx.pcol == pc) {
+    const std::size_t lc0 = ctx.local_col_lower_bound(k0);
+    const std::size_t lr0 = ctx.local_row_lower_bound(k0);
+    Payload mine;
+    mine.push_back(static_cast<double>(ctx.lrows() - lr0));
+    for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
+      mine.push_back(static_cast<double>(dist.global_row(ctx.prow, lr)));
+      for (std::size_t c = 0; c < pw; ++c)
+        mine.push_back(ctx.local(lr, lc0 + c));
+    }
+    if (comm.rank() != root) {
+      comm.send(root, stage_tag + kTagPanelGather, std::move(mine));
+    } else {
+      assembled.assign((n - k0) * pw, 0.0);
+      auto unpack = [&](const Payload& msg) {
+        std::size_t pos = 0;
+        const std::size_t count = static_cast<std::size_t>(msg[pos++]);
+        for (std::size_t r = 0; r < count; ++r) {
+          const std::size_t g = static_cast<std::size_t>(msg[pos++]);
+          std::copy_n(&msg[pos], pw, &assembled[(g - k0) * pw]);
+          pos += pw;
+        }
+      };
+      unpack(mine);
+      for (int prow = 0; prow < grid.p; ++prow) {
+        const int src = grid.rank_of(prow, pc);
+        if (src == root) continue;
+        unpack(comm.recv(src, stage_tag + kTagPanelGather));
+      }
+    }
+  }
+
+  // --- 2. Root factors the panel and broadcasts factors + pivots. ---
+  Payload packet;
+  if (comm.rank() == root) {
+    MatrixView<double> panel(assembled.data(), n - k0, pw, pw);
+    std::vector<std::size_t> piv(pw);
+    const bool ok = blas::getrf_panel<double>(panel, piv);
+    assert(ok && "singular panel in distributed HPL");
+    (void)ok;
+    packet.reserve(pw + assembled.size());
+    for (std::size_t t = 0; t < pw; ++t)
+      packet.push_back(static_cast<double>(piv[t] + k0));  // absolute global
+    packet.insert(packet.end(), assembled.begin(), assembled.end());
+  }
+  std::vector<int> everyone(grid.ranks());
+  for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
+  packet = comm.bcast(root, everyone, std::move(packet),
+                      stage_tag + kTagPanelBcast);
+  const double* ipiv_stage = packet.data();
+  const double* panel_data = packet.data() + pw;
+  for (std::size_t t = 0; t < pw; ++t) ipiv_all.push_back(ipiv_stage[t]);
+
+  // --- 3. Write the factored panel back into its owners' local storage. ---
+  if (ctx.pcol == pc) {
+    const std::size_t lc0 = ctx.local_col_lower_bound(k0);
+    const std::size_t lr0 = ctx.local_row_lower_bound(k0);
+    for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
+      const std::size_t g = dist.global_row(ctx.prow, lr);
+      for (std::size_t c = 0; c < pw; ++c)
+        ctx.local(lr, lc0 + c) = panel_data[(g - k0) * pw + c];
+    }
+  }
+
+  // --- 4. Apply the stage's row interchanges to all non-panel columns. ---
+  // Local columns excluded: the pw panel columns on panel-column ranks.
+  const std::size_t excl_lo =
+      ctx.pcol == pc ? ctx.local_col_lower_bound(k0) : ctx.lcols();
+  const std::size_t excl_hi = ctx.pcol == pc ? excl_lo + pw : ctx.lcols();
+  auto copy_row_segment = [&](std::size_t lr, Payload& out) {
+    for (std::size_t c = 0; c < ctx.lcols(); ++c)
+      if (c < excl_lo || c >= excl_hi) out.push_back(ctx.local(lr, c));
+  };
+  auto write_row_segment = [&](std::size_t lr, const Payload& in) {
+    std::size_t pos = 0;
+    for (std::size_t c = 0; c < ctx.lcols(); ++c)
+      if (c < excl_lo || c >= excl_hi) ctx.local(lr, c) = in[pos++];
+  };
+  const SwapAlgorithm swap_alg =
+      ctx.options != nullptr ? ctx.options->swap_algorithm
+                             : SwapAlgorithm::kPairwise;
+  if (swap_alg == SwapAlgorithm::kPairwise) {
+    for (std::size_t t = 0; t < pw; ++t) {
+      const std::size_t r1 = k0 + t;
+      const std::size_t r2 = static_cast<std::size_t>(ipiv_stage[t]);
+      if (r1 == r2) continue;
+      const int o1 = dist.owner_prow(r1);
+      const int o2 = dist.owner_prow(r2);
+      if (o1 == o2) {
+        if (ctx.prow == o1) {
+          blas::swap_rows(
+              ctx.local.view(), dist.local_row(r1), dist.local_row(r2));
+          // Undo the unwanted swap of the excluded panel columns (they were
+          // already swapped inside the panel factorization).
+          for (std::size_t c = excl_lo; c < excl_hi; ++c)
+            std::swap(ctx.local(dist.local_row(r1), c),
+                      ctx.local(dist.local_row(r2), c));
+        }
+      } else if (ctx.prow == o1 || ctx.prow == o2) {
+        const std::size_t mine = ctx.prow == o1 ? r1 : r2;
+        const int partner_prow = ctx.prow == o1 ? o2 : o1;
+        const int partner = grid.rank_of(partner_prow, ctx.pcol);
+        Payload out;
+        copy_row_segment(dist.local_row(mine), out);
+        comm.send(partner, stage_tag + kTagSwap, std::move(out));
+        const Payload in = comm.recv(partner, stage_tag + kTagSwap);
+        write_row_segment(dist.local_row(mine), in);
+      }
+    }
+  } else {
+    // "Long" swap: gather every involved row segment at the stage's root
+    // process row, apply the whole interchange sequence there, scatter back.
+    std::vector<std::size_t> involved;
+    for (std::size_t t = 0; t < pw; ++t) {
+      const std::size_t r1 = k0 + t;
+      const std::size_t r2 = static_cast<std::size_t>(ipiv_stage[t]);
+      if (r1 == r2) continue;
+      for (std::size_t r : {r1, r2})
+        if (std::find(involved.begin(), involved.end(), r) == involved.end())
+          involved.push_back(r);
+    }
+    if (!involved.empty()) {
+      const int root_prow = pr;
+      const int swap_root = grid.rank_of(root_prow, ctx.pcol);
+      // Send my owned involved-row segments to the swap root.
+      Payload mine;
+      std::vector<std::size_t> my_rows;
+      for (std::size_t r : involved)
+        if (dist.owner_prow(r) == ctx.prow) my_rows.push_back(r);
+      mine.push_back(static_cast<double>(my_rows.size()));
+      for (std::size_t r : my_rows) {
+        mine.push_back(static_cast<double>(r));
+        copy_row_segment(dist.local_row(r), mine);
+      }
+      comm.send(swap_root, stage_tag + kTagSwap, std::move(mine));
+      if (comm.rank() == swap_root) {
+        // Collect all segments into row -> contents.
+        const std::size_t seg_len = ctx.lcols() - (excl_hi - excl_lo);
+        std::vector<Payload> contents(involved.size());
+        for (int prow = 0; prow < grid.p; ++prow) {
+          const Payload msg =
+              comm.recv(grid.rank_of(prow, ctx.pcol), stage_tag + kTagSwap);
+          std::size_t pos = 0;
+          const std::size_t count = static_cast<std::size_t>(msg[pos++]);
+          for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t r = static_cast<std::size_t>(msg[pos++]);
+            const auto it = std::find(involved.begin(), involved.end(), r);
+            contents[it - involved.begin()].assign(msg.begin() + pos,
+                                                   msg.begin() + pos + seg_len);
+            pos += seg_len;
+          }
+        }
+        // Apply the interchange sequence on the gathered rows.
+        auto slot_of = [&](std::size_t r) {
+          return static_cast<std::size_t>(
+              std::find(involved.begin(), involved.end(), r) -
+              involved.begin());
+        };
+        for (std::size_t t = 0; t < pw; ++t) {
+          const std::size_t r1 = k0 + t;
+          const std::size_t r2 = static_cast<std::size_t>(ipiv_stage[t]);
+          if (r1 != r2) std::swap(contents[slot_of(r1)], contents[slot_of(r2)]);
+        }
+        // Scatter the permuted rows back to their owners.
+        for (int prow = 0; prow < grid.p; ++prow) {
+          Payload out;
+          std::size_t count = 0;
+          Payload body;
+          for (std::size_t i = 0; i < involved.size(); ++i) {
+            if (dist.owner_prow(involved[i]) != prow) continue;
+            ++count;
+            body.push_back(static_cast<double>(involved[i]));
+            body.insert(body.end(), contents[i].begin(), contents[i].end());
+          }
+          out.push_back(static_cast<double>(count));
+          out.insert(out.end(), body.begin(), body.end());
+          comm.send(grid.rank_of(prow, ctx.pcol), stage_tag + kTagSwap,
+                    std::move(out));
+        }
+      }
+      // Receive my rows' new contents.
+      const Payload back = comm.recv(swap_root, stage_tag + kTagSwap);
+      std::size_t pos = 0;
+      const std::size_t count = static_cast<std::size_t>(back[pos++]);
+      const std::size_t seg_len = ctx.lcols() - (excl_hi - excl_lo);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t r = static_cast<std::size_t>(back[pos++]);
+        const Payload seg(back.begin() + pos, back.begin() + pos + seg_len);
+        write_row_segment(dist.local_row(r), seg);
+        pos += seg_len;
+      }
+    }
+  }
+
+  if (k0 + pw >= n) return;  // no trailing matrix
+
+  // --- 5. U panel: rows k0..k0+pw of the trailing columns. Owner process
+  // row pr solves with L11 and broadcasts down each process column. ---
+  const std::size_t trail_lc0 = ctx.pcol == pc
+                                    ? ctx.local_col_lower_bound(k0) +
+                                          (ctx.pcol == pc ? pw : 0)
+                                    : ctx.local_col_lower_bound(k0 + pw);
+  const std::size_t trail_cols = ctx.lcols() - trail_lc0;
+  Payload u_block;
+  if (trail_cols > 0) {
+    if (ctx.prow == pr) {
+      // This rank owns the U rows: global rows k0..k0+pw map to contiguous
+      // local rows starting at local_row(k0).
+      const std::size_t lr0 = dist.local_row(k0);
+      Matrix<double> u(pw, trail_cols);
+      for (std::size_t r = 0; r < pw; ++r)
+        for (std::size_t c = 0; c < trail_cols; ++c)
+          u(r, c) = ctx.local(lr0 + r, trail_lc0 + c);
+      MatrixView<const double> l11(panel_data, pw, pw, pw);
+      blas::trsm_left_lower_unit<double>(l11, u.view());
+      for (std::size_t r = 0; r < pw; ++r)
+        for (std::size_t c = 0; c < trail_cols; ++c)
+          ctx.local(lr0 + r, trail_lc0 + c) = u(r, c);
+      u_block.assign(u.data(), u.data() + pw * trail_cols);
+    }
+    std::vector<int> col_group;
+    for (int prow = 0; prow < grid.p; ++prow)
+      col_group.push_back(grid.rank_of(prow, ctx.pcol));
+    u_block = comm.bcast(grid.rank_of(pr, ctx.pcol), col_group,
+                         std::move(u_block), stage_tag + kTagUBcast);
+  }
+
+  // --- 6. Local trailing update: A22 -= L21 * U. ---
+  const std::size_t lr_trail = ctx.local_row_lower_bound(k0 + pw);
+  const std::size_t m_loc = ctx.lrows() - lr_trail;
+  if (m_loc == 0 || trail_cols == 0) return;
+  Matrix<double> l21(m_loc, pw);
+  for (std::size_t r = 0; r < m_loc; ++r) {
+    const std::size_t g = dist.global_row(ctx.prow, lr_trail + r);
+    for (std::size_t c = 0; c < pw; ++c)
+      l21(r, c) = panel_data[(g - k0) * pw + c];
+  }
+  MatrixView<const double> u(u_block.data(), pw, trail_cols, trail_cols);
+  auto a22 = ctx.local.block(lr_trail, trail_lc0, m_loc, trail_cols);
+  if (ctx.options != nullptr && ctx.options->use_offload_engine) {
+    core::offload_gemm_functional(-1.0, l21.view(), u, a22,
+                                  ctx.options->offload);
+  } else {
+    blas::gemm_tiled<double>(-1.0, l21.view(), u, 1.0, a22, pw);
+  }
+}
+
+/// Distributed block triangular solves: given the block-cyclic factors and
+/// the (replicated) pivot-permuted right-hand side, computes x on every rank
+/// via per-block row reductions to the diagonal owner and broadcasts of each
+/// solved block (forward substitution with unit-lower L, then backward with
+/// U).
+std::vector<double> distributed_solve(RankContext& ctx,
+                                      const std::vector<double>& b_permuted) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const std::size_t n = dist.n();
+  const std::size_t nb = dist.nb();
+  const std::size_t blocks = dist.num_blocks();
+  std::vector<int> everyone(grid.ranks());
+  for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
+
+  std::vector<double> y(n, 0.0);
+  const int solve_base = static_cast<int>(blocks + 1) * kTagStride;
+
+  // --- Forward: L y = P b (unit lower). Blocks in increasing order. ---
+  for (std::size_t k = 0; k < blocks; ++k) {
+    const std::size_t k0 = k * nb;
+    const std::size_t pw = std::min(nb, n - k0);
+    const int pr = static_cast<int>(k % grid.p);
+    const int pc = static_cast<int>(k % grid.q);
+    const int diag = grid.rank_of(pr, pc);
+    const int tag = solve_base + static_cast<int>(k) * 2;
+    if (ctx.prow == pr) {
+      // Partial sum over this rank's local columns with global index < k0.
+      Payload partial(pw, 0.0);
+      const std::size_t lr0 = dist.local_row(k0);
+      const std::size_t lc_end = ctx.local_col_lower_bound(k0);
+      for (std::size_t lc = 0; lc < lc_end; ++lc) {
+        const std::size_t g = dist.global_col(ctx.pcol, lc);
+        for (std::size_t r = 0; r < pw; ++r)
+          partial[r] += ctx.local(lr0 + r, lc) * y[g];
+      }
+      if (comm.rank() != diag) {
+        comm.send(diag, tag, std::move(partial));
+      } else {
+        for (int pcol = 0; pcol < grid.q; ++pcol) {
+          const int src = grid.rank_of(pr, pcol);
+          if (src == diag) continue;
+          const Payload other = comm.recv(src, tag);
+          for (std::size_t r = 0; r < pw; ++r) partial[r] += other[r];
+        }
+        // Solve the unit-lower diagonal block.
+        Payload yk(pw);
+        const std::size_t lc0 = dist.local_col(k0);
+        for (std::size_t r = 0; r < pw; ++r) {
+          double acc = b_permuted[k0 + r] - partial[r];
+          for (std::size_t j = 0; j < r; ++j)
+            acc -= ctx.local(lr0 + r, lc0 + j) * yk[j];
+          yk[r] = acc;
+        }
+        for (std::size_t r = 0; r < pw; ++r) y[k0 + r] = yk[r];
+      }
+    }
+    // Broadcast the solved block to everyone.
+    Payload block;
+    if (comm.rank() == diag) block.assign(y.begin() + k0, y.begin() + k0 + pw);
+    block = comm.bcast(diag, everyone, std::move(block), tag + 1);
+    for (std::size_t r = 0; r < pw; ++r) y[k0 + r] = block[r];
+  }
+
+  // --- Backward: U x = y (non-unit upper). Blocks in decreasing order. ---
+  std::vector<double> x(n, 0.0);
+  const int back_base = solve_base + static_cast<int>(blocks) * 2 + 4;
+  for (std::size_t kk = blocks; kk-- > 0;) {
+    const std::size_t k0 = kk * nb;
+    const std::size_t pw = std::min(nb, n - k0);
+    const int pr = static_cast<int>(kk % grid.p);
+    const int pc = static_cast<int>(kk % grid.q);
+    const int diag = grid.rank_of(pr, pc);
+    const int tag = back_base + static_cast<int>(kk) * 2;
+    if (ctx.prow == pr) {
+      Payload partial(pw, 0.0);
+      const std::size_t lr0 = dist.local_row(k0);
+      const std::size_t lc_start = ctx.local_col_lower_bound(k0 + pw);
+      for (std::size_t lc = lc_start; lc < ctx.lcols(); ++lc) {
+        const std::size_t g = dist.global_col(ctx.pcol, lc);
+        for (std::size_t r = 0; r < pw; ++r)
+          partial[r] += ctx.local(lr0 + r, lc) * x[g];
+      }
+      if (comm.rank() != diag) {
+        comm.send(diag, tag, std::move(partial));
+      } else {
+        for (int pcol = 0; pcol < grid.q; ++pcol) {
+          const int src = grid.rank_of(pr, pcol);
+          if (src == diag) continue;
+          const Payload other = comm.recv(src, tag);
+          for (std::size_t r = 0; r < pw; ++r) partial[r] += other[r];
+        }
+        Payload xk(pw);
+        const std::size_t lc0 = dist.local_col(k0);
+        for (std::size_t r = pw; r-- > 0;) {
+          double acc = y[k0 + r] - partial[r];
+          for (std::size_t j = r + 1; j < pw; ++j)
+            acc -= ctx.local(lr0 + r, lc0 + j) * xk[j];
+          xk[r] = acc / ctx.local(lr0 + r, lc0 + r);
+        }
+        for (std::size_t r = 0; r < pw; ++r) x[k0 + r] = xk[r];
+      }
+    }
+    Payload block;
+    if (comm.rank() == diag) block.assign(x.begin() + k0, x.begin() + k0 + pw);
+    block = comm.bcast(diag, everyone, std::move(block), tag + 1);
+    for (std::size_t r = 0; r < pw; ++r) x[k0 + r] = block[r];
+  }
+  return x;
+}
+
+}  // namespace
+
+DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
+                                         Grid grid, std::uint64_t seed,
+                                         const DistributedHplOptions& options) {
+  DistributedHplResult result;
+  BlockCyclic dist(n, nb, grid);
+  net::World world(grid.ranks());
+
+  std::mutex result_mu;
+  world.run([&](Comm& comm) {
+    RankContext ctx;
+    ctx.dist = &dist;
+    ctx.comm = &comm;
+    ctx.options = &options;
+    ctx.prow = grid.prow_of(comm.rank());
+    ctx.pcol = grid.pcol_of(comm.rank());
+    ctx.local = Matrix<double>(ctx.lrows(), ctx.lcols());
+    // Fill from the position-stable generator: each rank produces exactly
+    // the entries it owns.
+    for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
+      for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
+        ctx.local(lr, lc) = util::hpl_entry(seed, dist.global_row(ctx.prow, lr),
+                                            dist.global_col(ctx.pcol, lc));
+
+    std::vector<double> ipiv_all;
+    for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
+      run_stage(ctx, bk, ipiv_all);
+
+    // Distributed solve: permute the replicated right-hand side by the
+    // recorded interchanges, then block forward/back substitution.
+    std::vector<double> b(n);
+    util::Rng brng(seed ^ 0xb0b);
+    for (auto& v : b) v = brng.next_centered();
+    std::vector<double> b_permuted = b;
+    for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i) {
+      const std::size_t piv = static_cast<std::size_t>(ipiv_all[i]);
+      if (piv != i) std::swap(b_permuted[i], b_permuted[piv]);
+    }
+    const std::vector<double> x_dist = distributed_solve(ctx, b_permuted);
+
+    // Gather the factored matrix to rank 0 for validation and solve.
+    const int gather_tag =
+        static_cast<int>(dist.num_blocks()) * kTagStride + kTagGather;
+    if (comm.rank() != 0) {
+      Payload mine;
+      mine.reserve(ctx.lrows() * ctx.lcols());
+      for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
+        for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
+          mine.push_back(ctx.local(lr, lc));
+      comm.send(0, gather_tag, std::move(mine));
+      return;
+    }
+
+    Matrix<double> full(n, n);
+    auto scatter_into_full = [&](int prow, int pcol, const double* data) {
+      const std::size_t rows = dist.local_rows(prow);
+      const std::size_t cols = dist.local_cols(pcol);
+      for (std::size_t lr = 0; lr < rows; ++lr)
+        for (std::size_t lc = 0; lc < cols; ++lc)
+          full(dist.global_row(prow, lr), dist.global_col(pcol, lc)) =
+              data[lr * cols + lc];
+    };
+    scatter_into_full(ctx.prow, ctx.pcol, ctx.local.data());
+    for (int r = 1; r < grid.ranks(); ++r) {
+      const Payload msg = comm.recv(r, gather_tag);
+      scatter_into_full(grid.prow_of(r), grid.pcol_of(r), msg.data());
+    }
+
+    // Solve Ax = b with the gathered factors and check the residual.
+    std::vector<std::size_t> ipiv(n);
+    for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i)
+      ipiv[i] = static_cast<std::size_t>(ipiv_all[i]);
+    Matrix<double> orig(n, n);
+    util::fill_hpl_matrix(orig.view(), seed);
+    std::vector<double> x = b;
+    blas::lu_solve_vector<double>(full.view(), ipiv, x);
+    const double residual = blas::hpl_residual<double>(orig.view(), x, b);
+    double agreement = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      agreement = std::max(agreement, std::abs(x[i] - x_dist[i]));
+
+    std::lock_guard lk(result_mu);
+    result.factored = std::move(full);
+    result.ipiv = std::move(ipiv);
+    result.x = x_dist;
+    result.solve_agreement = agreement;
+    result.residual = residual;
+    result.ok = residual < blas::kHplResidualThreshold;
+  });
+  return result;
+}
+
+}  // namespace xphi::hpl

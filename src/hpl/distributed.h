@@ -1,0 +1,69 @@
+// Functional distributed HPL: a real block-cyclic LU factorization with
+// partial pivoting over in-process message-passing ranks (net::World).
+//
+// This is the functional twin of the multi-node performance simulation in
+// core/hybrid_hpl.h: it actually executes the communication pattern the
+// simulation costs — panel gather/factor/broadcast, cross-row pivot
+// exchanges, U forward-solve and broadcast down the columns, local trailing
+// updates — and is validated against the sequential blocked factorization
+// and the HPL residual test.
+//
+// Scope note (documented in DESIGN.md): the panel is gathered to a root rank
+// and factored there rather than factored in place across the process
+// column. This preserves the exact numerics and the full swap/broadcast
+// communication structure at the small sizes the functional tests run; the
+// performance cost of the in-place distributed panel is what the simulation
+// models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/offload_functional.h"
+#include "hpl/block_cyclic.h"
+#include "util/matrix.h"
+
+namespace xphi::hpl {
+
+/// Row interchange algorithms (HPL offers the same choice):
+///  - kPairwise: each swap is a point-to-point exchange between the two
+///    owner rows (binary-exchange style; good for few, scattered pivots);
+///  - kGatherScatter: the stage's root row collects every involved row
+///    segment, applies the whole interchange sequence, and scatters the
+///    results back (HPL's "long" swap: one gather + one scatter per stage).
+enum class SwapAlgorithm { kPairwise, kGatherScatter };
+
+struct DistributedHplOptions {
+  /// When true, each rank's local trailing update runs through the
+  /// functional offload engine (card threads + request/response queues +
+  /// two-ended work stealing) instead of a plain local GEMM — the
+  /// functional twin of the full multi-node *hybrid* HPL.
+  bool use_offload_engine = false;
+  core::FunctionalOffloadConfig offload{};
+  SwapAlgorithm swap_algorithm = SwapAlgorithm::kPairwise;
+};
+
+struct DistributedHplResult {
+  bool ok = false;
+  double residual = 0;
+  /// Factored matrix gathered to rank 0 (L\U in place, rows swapped).
+  util::Matrix<double> factored;
+  /// Absolute global row interchanges, stage-ordered.
+  std::vector<std::size_t> ipiv;
+  /// Solution of Ax = b computed by the *distributed* triangular solves
+  /// (block forward/back substitution with row-reductions and broadcasts).
+  std::vector<double> x;
+  /// Max |x_distributed - x_gathered|: the distributed solve must agree with
+  /// solving on the gathered factors.
+  double solve_agreement = 0;
+};
+
+/// Factors the seeded HPL matrix of order n on a P x Q grid with panel width
+/// nb, solves Ax = b both distributed and on the gathered factors, and
+/// returns the residual, factors and solution.
+DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
+                                         Grid grid, std::uint64_t seed = 42,
+                                         const DistributedHplOptions& options = {});
+
+}  // namespace xphi::hpl

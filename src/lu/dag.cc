@@ -1,0 +1,92 @@
+#include "lu/dag.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xphi::lu {
+
+PanelDag::PanelDag(std::size_t num_panels)
+    : num_panels_(num_panels), panels_(num_panels) {}
+
+std::optional<Task> PanelDag::acquire(std::size_t limit) {
+  std::lock_guard lk(mu_);
+  return acquire_locked(std::min(limit, num_panels_));
+}
+
+std::optional<Task> PanelDag::acquire_locked(std::size_t limit) {
+  // Look-ahead first: the lowest panel that is fully updated but not yet
+  // factored. Panels up to index `limit` may be factored so the next
+  // super-stage starts with its first panel ready.
+  const std::size_t panel_limit = std::min(num_panels_ - 1, limit);
+  for (std::size_t p = 0; p <= panel_limit; ++p) {
+    PanelState& ps = panels_[p];
+    if (!ps.factored && !ps.busy && ps.stage == p) {
+      ps.busy = true;
+      ++in_flight_;
+      return Task{TaskKind::kPanelFactor, p, p};
+    }
+  }
+  // Otherwise the oldest ready update: smallest stage i whose panel is
+  // factored, then the first panel j > i still at stage i.
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (!panels_[i].factored) continue;
+    for (std::size_t j = i + 1; j < num_panels_; ++j) {
+      PanelState& ps = panels_[j];
+      if (!ps.busy && ps.stage == i) {
+        ps.busy = true;
+        ++in_flight_;
+        return Task{TaskKind::kUpdate, i, j};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void PanelDag::commit(const Task& task) {
+  std::lock_guard lk(mu_);
+  assert(in_flight_ > 0);
+  --in_flight_;
+  PanelState& ps = panels_[task.panel];
+  assert(ps.busy);
+  ps.busy = false;
+  if (task.kind == TaskKind::kPanelFactor) {
+    assert(!ps.factored && ps.stage == task.panel);
+    ps.factored = true;
+  } else {
+    assert(ps.stage == task.stage);
+    ps.stage = task.stage + 1;
+  }
+}
+
+bool PanelDag::done() const {
+  std::lock_guard lk(mu_);
+  return std::all_of(panels_.begin(), panels_.end(),
+                     [](const PanelState& p) { return p.factored; });
+}
+
+bool PanelDag::stages_complete(std::size_t limit) const {
+  std::lock_guard lk(mu_);
+  const std::size_t lim = std::min(limit, num_panels_);
+  for (std::size_t p = 0; p < lim; ++p)
+    if (!panels_[p].factored) return false;
+  for (std::size_t j = lim; j < num_panels_; ++j)
+    if (panels_[j].stage < lim) return false;
+  return true;
+}
+
+std::size_t PanelDag::in_flight() const {
+  std::lock_guard lk(mu_);
+  return in_flight_;
+}
+
+std::size_t PanelDag::stage_of(std::size_t panel) const {
+  std::lock_guard lk(mu_);
+  return panels_[panel].stage;
+}
+
+bool PanelDag::factored(std::size_t panel) const {
+  std::lock_guard lk(mu_);
+  return panels_[panel].factored;
+}
+
+}  // namespace xphi::lu

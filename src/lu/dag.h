@@ -1,0 +1,89 @@
+// The per-panel task DAG of the native Linpack (paper Section IV-A,
+// Figure 5b/5c).
+//
+// The matrix is split into `num_panels` column panels. Two task kinds exist:
+//
+//   Task1(p)    — panel factorization DGETRF of panel p;
+//   Task2(i, j) — the composite "pivot + forward solve + trailing update" of
+//                 panel j at stage i (j > i).
+//
+// Instead of materializing the full dependency graph, the DAG is stored as a
+// one-dimensional array: element j holds the *stage* of panel j — the number
+// of Task2 updates already applied to it — plus a factored flag and a busy
+// flag. Dependencies reduce to stage-number comparisons:
+//
+//   Task1(p)    ready when stage[p] == p (all p prior updates applied);
+//   Task2(i, j) ready when panel i is factored and stage[j] == i.
+//
+// acquire() implements the paper's search order: panel factorizations first
+// (the look-ahead — "this task is immediately performed when the
+// corresponding panel is updated in the current stage by Task2"), then the
+// oldest available update task. commit() increments the panel's stage; in
+// the real-thread executor it is always called by the thread that completed
+// the task, matching the paper's no-critical-section commit.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace xphi::lu {
+
+enum class TaskKind { kPanelFactor, kUpdate };
+
+struct Task {
+  TaskKind kind = TaskKind::kPanelFactor;
+  std::size_t stage = 0;  // i: the stage this task belongs to
+  std::size_t panel = 0;  // j: the panel it operates on (== stage for Task1)
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+class PanelDag {
+ public:
+  explicit PanelDag(std::size_t num_panels);
+
+  std::size_t num_panels() const noexcept { return num_panels_; }
+
+  /// Attempts to acquire a ready task, preferring look-ahead panel
+  /// factorizations. Only offers tasks whose stage/panel index is below
+  /// `limit` (panels up to and including `limit` may still be factored — the
+  /// look-ahead across a super-stage boundary). Pass num_panels() for no
+  /// limit. Returns nullopt when nothing is ready right now.
+  std::optional<Task> acquire(std::size_t limit);
+  std::optional<Task> acquire() { return acquire(num_panels_); }
+
+  /// Marks a previously acquired task complete and publishes its effects.
+  void commit(const Task& task);
+
+  /// True when every panel is factored and fully updated.
+  bool done() const;
+
+  /// True when all tasks of stages < `limit` are complete and panels
+  /// 0..limit-1 are factored (the super-stage episode boundary).
+  bool stages_complete(std::size_t limit) const;
+
+  /// Number of acquired-but-not-committed tasks.
+  std::size_t in_flight() const;
+
+  // Introspection (tests / tracing).
+  std::size_t stage_of(std::size_t panel) const;
+  bool factored(std::size_t panel) const;
+
+ private:
+  struct PanelState {
+    std::size_t stage = 0;  // updates applied so far
+    bool factored = false;
+    bool busy = false;  // a task is currently operating on this panel
+  };
+
+  std::optional<Task> acquire_locked(std::size_t limit);
+
+  mutable std::mutex mu_;
+  std::size_t num_panels_;
+  std::vector<PanelState> panels_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace xphi::lu

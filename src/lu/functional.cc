@@ -1,0 +1,125 @@
+#include "lu/functional.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "blas/lu_kernels.h"
+#include "blas/residual.h"
+#include "lu/dag.h"
+#include "util/rng.h"
+
+namespace xphi::lu {
+
+namespace {
+
+using util::MatrixView;
+
+struct Shared {
+  MatrixView<double> a;
+  std::span<std::size_t> ipiv;
+  std::size_t nb;
+  PanelDag* dag;
+  std::atomic<bool> failed{false};
+};
+
+void execute_task(const Task& task, Shared& sh) {
+  const std::size_t n = sh.a.rows();
+  const std::size_t nb = sh.nb;
+  if (task.kind == TaskKind::kPanelFactor) {
+    const std::size_t r0 = task.panel * nb;
+    const std::size_t pw = std::min(nb, n - r0);
+    auto panel = sh.a.block(r0, r0, n - r0, pw);
+    auto piv = sh.ipiv.subspan(r0, pw);
+    if (!blas::getrf_panel<double>(panel, piv)) {
+      sh.failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    for (std::size_t t = 0; t < pw; ++t) piv[t] += r0;  // make absolute
+  } else {
+    const std::size_t r0 = task.stage * nb;
+    const std::size_t iw = std::min(nb, n - r0);
+    const std::size_t c0 = task.panel * nb;
+    const std::size_t jw = std::min(nb, n - c0);
+    // Pivot: apply stage-i interchanges to panel j. Rows are absolute; the
+    // block starts at row r0, so shift to block-local indices.
+    auto block = sh.a.block(r0, c0, n - r0, jw);
+    for (std::size_t t = 0; t < iw; ++t)
+      blas::swap_rows(block, t, sh.ipiv[r0 + t] - r0);
+    // Forward solve: U12 = L11^-1 * A12.
+    auto l11 = sh.a.block(r0, r0, iw, iw);
+    auto u = sh.a.block(r0, c0, iw, jw);
+    blas::trsm_left_lower_unit<double>(l11, u);
+    // Trailing update: A22 -= L21 * U12.
+    if (n > r0 + iw) {
+      auto l21 = sh.a.block(r0 + iw, r0, n - r0 - iw, iw);
+      auto a22 = sh.a.block(r0 + iw, c0, n - r0 - iw, jw);
+      blas::gemm_tiled<double>(-1.0, l21, u, 1.0, a22, /*chunk_k=*/iw);
+    }
+  }
+}
+
+void worker_loop(Shared& sh) {
+  while (!sh.dag->done() && !sh.failed.load(std::memory_order_relaxed)) {
+    auto task = sh.dag->acquire();
+    if (!task) {
+      std::this_thread::yield();
+      continue;
+    }
+    execute_task(*task, sh);
+    sh.dag->commit(*task);
+  }
+}
+
+}  // namespace
+
+bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
+                   std::size_t nb, int workers) {
+  const std::size_t n = a.rows();
+  const std::size_t num_panels = (n + nb - 1) / nb;
+  PanelDag dag(num_panels);
+  Shared sh{a, ipiv, nb, &dag};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(std::max(1, workers)) - 1);
+  for (int w = 1; w < workers; ++w)
+    threads.emplace_back([&sh] { worker_loop(sh); });
+  worker_loop(sh);
+  for (auto& th : threads) th.join();
+  if (sh.failed.load()) return false;
+
+  // Post-pass: apply each stage's interchanges to the L panels on its left,
+  // in stage order — the part of DLASWP the DAG tasks (which only touch
+  // panels right of the diagonal) defer.
+  for (std::size_t p = 1; p < num_panels; ++p) {
+    const std::size_t r0 = p * nb;
+    const std::size_t pw = std::min(nb, n - r0);
+    auto left = a.block(0, 0, n, r0);
+    blas::laswp<double>(left, std::span<const std::size_t>(ipiv.data(), n), r0,
+                        r0 + pw);
+  }
+  return true;
+}
+
+FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
+                                         int workers, std::uint64_t seed) {
+  util::Matrix<double> a(n, n), orig(n, n);
+  util::fill_hpl_matrix(a.view(), seed);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) orig(r, c) = a(r, c);
+  std::vector<double> b(n), x(n);
+  util::Rng rng(seed ^ 0xb0b);
+  for (auto& v : b) v = rng.next_centered();
+  x = b;
+  std::vector<std::size_t> ipiv(n);
+
+  FunctionalLuResult res;
+  if (!dag_lu_factor(a.view(), ipiv, nb, workers)) return res;
+  blas::lu_solve_vector<double>(a.view(), ipiv, x);
+  res.residual = blas::hpl_residual<double>(orig.view(), x, b);
+  res.ok = res.residual < blas::kHplResidualThreshold;
+  return res;
+}
+
+}  // namespace xphi::lu

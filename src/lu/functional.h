@@ -1,0 +1,34 @@
+// Real-thread, real-numerics executor for the PanelDag (paper Figure 5c).
+//
+// Worker threads loop calling DAG.AvailableTask() and execute the LU kernels
+// on an actual matrix. This is the functional twin of the discrete-event
+// scheduler in lu/sim_scheduler.h: it validates that the DAG protocol
+// (look-ahead ordering, stage counters, commit-by-owner) is race-free and
+// numerically identical to the sequential blocked factorization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/matrix.h"
+
+namespace xphi::lu {
+
+/// Factors `a` in place with the dynamic DAG scheduler on `workers` real
+/// threads. ipiv receives absolute row interchanges (LAPACK style). Returns
+/// false on a zero pivot.
+bool dag_lu_factor(util::MatrixView<double> a, std::span<std::size_t> ipiv,
+                   std::size_t nb, int workers);
+
+struct FunctionalLuResult {
+  bool ok = false;
+  double residual = 0;  // scaled HPL residual of the solve
+};
+
+/// End-to-end: generate the HPL matrix of size n, factor with the DAG
+/// executor, solve, and return the residual.
+FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
+                                         int workers, std::uint64_t seed = 42);
+
+}  // namespace xphi::lu

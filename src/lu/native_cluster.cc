@@ -1,0 +1,77 @@
+#include "lu/native_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/flops.h"
+
+namespace xphi::lu {
+
+NativeClusterResult simulate_native_cluster(const NativeClusterConfig& cfg,
+                                            const sim::KncLuModel& model,
+                                            const net::CostModel& net) {
+  NativeClusterResult res;
+  const int nodes = cfg.p * cfg.q;
+  const std::size_t n = cfg.n;
+  const std::size_t nb = cfg.nb;
+  const auto& spec = model.spec();
+  res.fits_memory = static_cast<double>(n) * n * 8.0 <=
+                    static_cast<double>(nodes) * spec.dram_bytes * 0.90;
+
+  double total = 0;
+  double exposed = 0;
+  for (std::size_t i0 = 0; i0 < n; i0 += nb) {
+    const std::size_t rows = n - i0;
+    const std::size_t pw = std::min(nb, rows);
+    const std::size_t width = rows - pw;
+    const std::size_t local_panel_rows = (rows + cfg.p - 1) / cfg.p;
+    const std::size_t local_rows =
+        std::min(width, ((width + nb * cfg.p - 1) / (nb * cfg.p)) * nb);
+    const std::size_t local_cols =
+        std::min(width, ((width + nb * cfg.q - 1) / (nb * cfg.q)) * nb);
+
+    const double lat_extra =
+        (cfg.net_latency_factor - 1.0) * net.params().latency_seconds;
+    const double t_panel =
+        model.panel_seconds(local_panel_rows, pw, cfg.panel_group_cores) +
+        net.bcast_seconds(8.0 * local_panel_rows * pw, cfg.q) +
+        lat_extra * std::ceil(std::log2(std::max(2, cfg.q)));
+    double t_iter = 0;
+    if (width > 0) {
+      const double t_swap =
+          model.swap_seconds(pw, local_cols) +
+          net.swap_exchange_seconds(2.0 * 8.0 * pw * local_cols, cfg.p) +
+          lat_extra;
+      const double t_trsm =
+          model.trsm_seconds(pw, local_cols, spec.compute_cores());
+      const double t_ubcast =
+          net.bcast_seconds(8.0 * pw * local_cols, cfg.p) +
+          lat_extra * std::ceil(std::log2(std::max(2, cfg.p)));
+      const double t_update =
+          model.update_gemm_seconds(local_rows, local_cols, pw,
+                                    spec.compute_cores()) /
+          cfg.scheduling_efficiency;
+      // Pipelined look-ahead, as in the hybrid driver: first subset exposed,
+      // panel overlapped with the update.
+      const int s = std::max(1, cfg.pipeline_subsets);
+      const double pre = (t_swap + t_trsm + t_ubcast) / s;
+      t_iter = pre + std::max(t_update, t_panel + 2.0 * pre);
+      exposed += pre + std::max(0.0, t_panel + 2.0 * pre - t_update);
+    } else {
+      t_iter = t_panel;
+      exposed += t_panel;
+    }
+    total += t_iter;
+  }
+  // Solve sweeps over the local share.
+  total += 2.0 * 8.0 * static_cast<double>(n) * n / nodes /
+           (model.params().swap_bw_fraction * spec.stream_bw_gbs * 1e9);
+
+  res.seconds = total;
+  res.gflops = util::gflops(util::linpack_flops(n), total);
+  res.efficiency = res.gflops / (nodes * spec.native_peak_gflops());
+  res.comm_fraction = exposed / total;
+  return res;
+}
+
+}  // namespace xphi::lu

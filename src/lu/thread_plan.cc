@@ -1,0 +1,55 @@
+#include "lu/thread_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xphi::lu {
+
+ThreadPlan::ThreadPlan(int total_cores, std::vector<SuperStage> stages)
+    : total_cores_(total_cores), stages_(std::move(stages)) {
+  assert(!stages_.empty());
+  assert(stages_.front().first_stage == 0);
+  assert(std::is_sorted(stages_.begin(), stages_.end(),
+                        [](const SuperStage& a, const SuperStage& b) {
+                          return a.first_stage < b.first_stage;
+                        }));
+}
+
+std::size_t ThreadPlan::super_stage_index(std::size_t stage) const noexcept {
+  std::size_t idx = 0;
+  for (std::size_t s = 1; s < stages_.size(); ++s)
+    if (stages_[s].first_stage <= stage) idx = s;
+  return idx;
+}
+
+int ThreadPlan::group_cores_at(std::size_t stage) const noexcept {
+  return stages_[super_stage_index(stage)].group_cores;
+}
+
+int ThreadPlan::groups_at(std::size_t stage) const noexcept {
+  return std::max(1, total_cores_ / group_cores_at(stage));
+}
+
+ThreadPlan ThreadPlan::fixed(int total_cores, int group_cores,
+                             std::size_t /*num_panels*/) {
+  return ThreadPlan(total_cores, {{0, group_cores}});
+}
+
+ThreadPlan ThreadPlan::geometric(int total_cores, std::size_t num_panels,
+                                 int max_group_cores) {
+  std::vector<SuperStage> stages;
+  stages.push_back({0, 1});
+  // Group size g starts at stage P - P/g: with half the panels left, double
+  // the group; with a quarter left, double again, etc.
+  for (int g = 2; g <= max_group_cores && g <= total_cores; g *= 2) {
+    const std::size_t first =
+        num_panels - std::max<std::size_t>(1, num_panels / g);
+    if (first > stages.back().first_stage)
+      stages.push_back({first, g});
+    else
+      stages.back().group_cores = g;
+  }
+  return ThreadPlan(total_cores, std::move(stages));
+}
+
+}  // namespace xphi::lu

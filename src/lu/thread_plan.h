@@ -1,0 +1,51 @@
+// Thread-group plans for the native LU schedulers (paper Section IV-A).
+//
+// Threads are partitioned into groups; a group executes one task at a time
+// and only its master thread touches the DAG critical section. The paper's
+// extension over Buttari et al. is the *super-stage*: the grouping is fixed
+// within a super-stage and revised — behind an infrequent global barrier —
+// between super-stages, growing the per-group core count as the trailing
+// matrix shrinks so panel factorizations stay hidden.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xphi::lu {
+
+struct SuperStage {
+  std::size_t first_stage = 0;  // first LU stage this super-stage covers
+  int group_cores = 1;          // cores per thread group within it
+};
+
+class ThreadPlan {
+ public:
+  ThreadPlan(int total_cores, std::vector<SuperStage> stages);
+
+  int total_cores() const noexcept { return total_cores_; }
+  const std::vector<SuperStage>& super_stages() const noexcept { return stages_; }
+
+  /// Cores per group while executing LU stage `stage`.
+  int group_cores_at(std::size_t stage) const noexcept;
+  /// Number of groups while executing LU stage `stage` (>= 1).
+  int groups_at(std::size_t stage) const noexcept;
+  /// Index into super_stages() for `stage`.
+  std::size_t super_stage_index(std::size_t stage) const noexcept;
+
+  /// Single grouping for the whole factorization (the original fixed
+  /// assignment of Buttari et al. — the ablation baseline).
+  static ThreadPlan fixed(int total_cores, int group_cores,
+                          std::size_t num_panels);
+
+  /// The paper's scheme: group size doubles as the remaining panel count
+  /// halves, so later (smaller) stages get wider groups to keep panel
+  /// factorization hidden. `max_group_cores` caps the growth.
+  static ThreadPlan geometric(int total_cores, std::size_t num_panels,
+                              int max_group_cores = 16);
+
+ private:
+  int total_cores_;
+  std::vector<SuperStage> stages_;  // sorted by first_stage
+};
+
+}  // namespace xphi::lu

@@ -1,0 +1,62 @@
+// Interconnect cost model for the cluster runs (paper Section V-C: a
+// single-rail FDR InfiniBand network connecting up to 100 hybrid nodes).
+//
+// The multi-node HPL simulation only needs three communication shapes:
+// broadcast of the factored panel along a process row, the cross-row pivot
+// exchange of DLASWP, and broadcast of the U panel down a process column.
+// All are modeled as log-tree collectives over a latency/bandwidth link.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace xphi::net {
+
+struct FabricParams {
+  // FDR InfiniBand 4x: 56 Gb/s signalling, ~6.0 GB/s effective payload.
+  double bandwidth_gbs = 6.0;
+  double latency_seconds = 1.5e-6;
+  // Effective fraction of link bandwidth under HPL's communication pattern
+  // (protocol overheads, contention with PCIe DMA on the host bus).
+  double efficiency = 0.75;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(FabricParams params = {}) : params_(params) {}
+
+  const FabricParams& params() const noexcept { return params_; }
+
+  double effective_bw() const noexcept {
+    return params_.bandwidth_gbs * 1e9 * params_.efficiency;
+  }
+
+  /// Point-to-point message.
+  double send_seconds(double bytes) const noexcept {
+    return params_.latency_seconds + bytes / effective_bw();
+  }
+
+  /// Pipelined (segmented) broadcast of `bytes` over `group` ranks: long
+  /// messages stream through the tree, costing ~(2 - 2/group) transfer times
+  /// plus the tree latency (HPL's increasing-ring / binomial broadcasts).
+  double bcast_seconds(double bytes, int group) const noexcept {
+    if (group <= 1) return 0.0;
+    const double hops = std::ceil(std::log2(static_cast<double>(group)));
+    const double factor = 2.0 - 2.0 / group;
+    return hops * params_.latency_seconds + factor * bytes / effective_bw();
+  }
+
+  /// HPL-style row interchange ("long" swap): each of the `group` ranks in a
+  /// process column spreads and collects its share of the nb pivot rows.
+  double swap_exchange_seconds(double bytes_per_rank, int group) const noexcept {
+    if (group <= 1) return 0.0;
+    const double frac = static_cast<double>(group - 1) / group;
+    return send_seconds(bytes_per_rank * frac) +
+           params_.latency_seconds * std::ceil(std::log2(group));
+  }
+
+ private:
+  FabricParams params_;
+};
+
+}  // namespace xphi::net

@@ -1,0 +1,97 @@
+#include "net/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <thread>
+
+namespace xphi::net {
+
+World::World(int ranks) : ranks_(ranks), barrier_(static_cast<std::size_t>(ranks)) {
+  assert(ranks >= 1);
+  mailboxes_.reserve(ranks_);
+  for (int r = 0; r < ranks_; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_ - 1);
+  for (int r = 1; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      Comm comm(this, r);
+      fn(comm);
+    });
+  }
+  Comm comm0(this, 0);
+  fn(comm0);
+  for (auto& t : threads) t.join();
+}
+
+void World::deliver(int src, int dst, int tag, Payload data) {
+  assert(dst >= 0 && dst < ranks_);
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard lk(box.mu);
+    box.slots[{src, tag}].push(std::move(data));
+  }
+  box.cv.notify_all();
+}
+
+Payload World::collect(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock lk(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lk, [&] {
+    const auto it = box.slots.find(key);
+    return it != box.slots.end() && !it->second.empty();
+  });
+  auto& q = box.slots[key];
+  Payload data = std::move(q.front());
+  q.pop();
+  return data;
+}
+
+int Comm::size() const noexcept { return world_->size(); }
+
+void Comm::send(int dst, int tag, Payload data) {
+  world_->deliver(rank_, dst, tag, std::move(data));
+}
+
+Payload Comm::recv(int src, int tag) { return world_->collect(rank_, src, tag); }
+
+Payload Comm::bcast(int root, const std::vector<int>& group, Payload data,
+                    int tag) {
+  // Binomial tree over the positions within `group`.
+  const auto pos_of = [&](int rank) {
+    return static_cast<int>(
+        std::find(group.begin(), group.end(), rank) - group.begin());
+  };
+  const int n = static_cast<int>(group.size());
+  const int root_pos = pos_of(root);
+  const int my_pos = pos_of(rank_);
+  assert(root_pos < n && my_pos < n);
+  // Virtual position relative to the root.
+  const int vpos = (my_pos - root_pos + n) % n;
+  int first_send_mask = 1;
+  if (vpos != 0) {
+    // Receive from the parent: vpos with its highest set bit cleared.
+    int hb = 1;
+    while (hb <= vpos) hb <<= 1;
+    hb >>= 1;
+    const int parent = group[(vpos - hb + root_pos) % n];
+    data = recv(parent, tag);
+    first_send_mask = hb << 1;
+  }
+  // Forward to children at vpos + mask for each mask above our highest bit.
+  for (int mask = first_send_mask; mask < n + n; mask <<= 1) {
+    const int child_v = vpos + mask;
+    if (child_v >= n) break;
+    send(group[(child_v + root_pos) % n], tag, data);
+  }
+  return data;
+}
+
+void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+
+}  // namespace xphi::net

@@ -1,0 +1,82 @@
+// In-process message-passing substrate (the MPI stand-in for functional
+// multi-node tests).
+//
+// The distributed HPL in hpl/distributed.h runs its ranks as threads of one
+// process; they communicate exclusively through this World — tagged
+// point-to-point sends and receives with (source, tag) matching, plus a
+// barrier — mirroring the subset of MPI the real HPL uses. No shared state
+// crosses rank boundaries except through messages, so the functional tests
+// genuinely exercise the distribution logic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "util/barrier.h"
+
+namespace xphi::net {
+
+using Payload = std::vector<double>;
+
+class World;
+
+/// Per-rank communication endpoint handed to each rank function.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Sends `data` to `dst` with a tag. Never blocks (unbounded mailboxes).
+  void send(int dst, int tag, Payload data);
+
+  /// Blocks until a message with (src, tag) arrives.
+  Payload recv(int src, int tag);
+
+  /// Binomial-tree broadcast within the ranks listed in `group` (all of
+  /// which must call with identical arguments); `root` is a rank id that
+  /// must appear in `group`. Returns the broadcast payload.
+  Payload bcast(int root, const std::vector<int>& group, Payload data, int tag);
+
+  /// Global barrier over all ranks.
+  void barrier();
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+class World {
+ public:
+  explicit World(int ranks);
+
+  int size() const noexcept { return ranks_; }
+
+  /// Runs fn(comm) once per rank, each on its own thread; returns when all
+  /// ranks finish.
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::queue<Payload>> slots;  // (src, tag)
+  };
+
+  void deliver(int src, int dst, int tag, Payload data);
+  Payload collect(int dst, int src, int tag);
+
+  int ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  util::SpinBarrier barrier_;
+};
+
+}  // namespace xphi::net

@@ -1,0 +1,47 @@
+// PCI-Express link model (paper Section V-B and footnote 4).
+//
+// Knights Corner sits on a PCIe slot; every operand tile and result tile of
+// offload DGEMM crosses this link via DMA. The paper quotes three bandwidth
+// regimes: the 6 GB/s nominal figure of Table I, ~5.5 GB/s achievable by a
+// dedicated microbenchmark, and ~4 GB/s effective during HPL, when transfers
+// compete with swapping and host DGEMM for host memory bandwidth. The
+// Kt > 4 * P_dgemm / BW lower bound on the offload panel depth is derived
+// against the contended figure.
+#pragma once
+
+#include <cstddef>
+
+namespace xphi::pci {
+
+struct PcieLinkParams {
+  double nominal_bw_gbs = 6.0;     // Table I
+  double achievable_bw_gbs = 5.5;  // dedicated transfer microbenchmark
+  double contended_bw_gbs = 4.0;   // while host swap/DGEMM compete
+  double dma_setup_seconds = 15e-6;  // per DMA descriptor
+};
+
+class PcieLink {
+ public:
+  explicit PcieLink(PcieLinkParams params = {}) : params_(params) {}
+
+  const PcieLinkParams& params() const noexcept { return params_; }
+
+  /// Seconds to move `bytes` across the link.
+  double transfer_seconds(double bytes, bool contended = true) const noexcept {
+    const double bw =
+        (contended ? params_.contended_bw_gbs : params_.achievable_bw_gbs) * 1e9;
+    return params_.dma_setup_seconds + bytes / bw;
+  }
+
+  /// The paper's lower bound on the offload panel depth Kt: the compute
+  /// time of an Mt x Nt x Kt tile must cover the transfer of its Mt x Nt
+  /// output, giving Kt > 4 * P_dgemm / BW (both in SI units).
+  double min_kt(double dgemm_gflops) const noexcept {
+    return 4.0 * dgemm_gflops * 1e9 / (params_.contended_bw_gbs * 1e9);
+  }
+
+ private:
+  PcieLinkParams params_;
+};
+
+}  // namespace xphi::pci

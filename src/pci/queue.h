@@ -1,0 +1,76 @@
+// The memory-mapped request/response queue pair of offload DGEMM
+// (paper Figure 10b, steps 4-8): the host enqueues DGEMM requests, the
+// coprocessor polls the request queue, computes, and enqueues results.
+//
+// This is the functional implementation used by the real-numerics offload
+// executor in core/offload_functional.h, where the "coprocessor" is a host
+// thread. A bounded capacity mirrors the finite ring the real driver maps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace xphi::pci {
+
+template <class T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Blocks while the queue is full. Returns false if the queue was closed.
+  bool enqueue(T item) {
+    std::unique_lock lk(mu_);
+    cv_space_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; nullopt once closed and drained.
+  std::optional<T> dequeue() {
+    std::unique_lock lk(mu_);
+    cv_items_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking poll (the coprocessor-side loop in the paper polls).
+  std::optional<T> try_dequeue() {
+    std::lock_guard lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Wakes all waiters; subsequent enqueues fail, dequeues drain then end.
+  void close() {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace xphi::pci

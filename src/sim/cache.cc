@@ -1,0 +1,112 @@
+#include "sim/cache.h"
+
+#include <cassert>
+
+namespace xphi::sim {
+
+namespace {
+[[maybe_unused]] bool is_pow2(std::size_t v) {
+  return v && (v & (v - 1)) == 0;
+}
+}  // namespace
+
+SetAssociativeCache::SetAssociativeCache(std::size_t total_bytes,
+                                         std::size_t ways,
+                                         std::size_t line_bytes)
+    : ways_(ways),
+      sets_(total_bytes / (ways * line_bytes)),
+      line_bytes_(line_bytes) {
+  assert(sets_ > 0 && is_pow2(sets_) && is_pow2(line_bytes_));
+  lines_.resize(sets_ * ways_);
+}
+
+bool SetAssociativeCache::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t line_addr = address / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & (sets_ - 1);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = &lines_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // LRU (or first invalid) replacement.
+  Line* victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+SetAssociativeCache SetAssociativeCache::knc_l1() {
+  return SetAssociativeCache(32 * 1024, 8, 64);
+}
+
+SetAssociativeCache SetAssociativeCache::knc_l2() {
+  return SetAssociativeCache(512 * 1024, 8, 64);
+}
+
+Tlb::Tlb(std::size_t entries, std::size_t page_bytes)
+    : page_bytes_(page_bytes), entries_(entries) {
+  assert(entries > 0 && is_pow2(page_bytes));
+}
+
+bool Tlb::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t page = address / page_bytes_;
+  Entry* victim = &entries_[0];
+  for (auto& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.lru = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  for (auto& e : entries_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->page = page;
+  victim->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+Tlb Tlb::knc_dtlb() { return Tlb(64, 4096); }
+
+WalkStats walk_column_access(std::size_t rows, std::size_t k, std::size_t ld,
+                             SetAssociativeCache cache, Tlb tlb,
+                             std::uint64_t base) {
+  WalkStats stats;
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      // Row-major element (r, j): address = base + (r * ld + j) * 8.
+      const std::uint64_t addr =
+          base + (static_cast<std::uint64_t>(r) * ld + j) * 8;
+      cache.access(addr);
+      tlb.access(addr);
+      ++stats.accesses;
+    }
+  }
+  stats.cache_miss_rate = cache.miss_rate();
+  stats.tlb_miss_rate = tlb.miss_rate();
+  return stats;
+}
+
+}  // namespace xphi::sim

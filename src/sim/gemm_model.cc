@@ -1,0 +1,172 @@
+#include "sim/gemm_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/flops.h"
+
+namespace xphi::sim {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+KncGemmModel::KncGemmModel(MachineSpec spec, KncGemmParams params)
+    : spec_(std::move(spec)), params_(params) {
+  issue_eff_dp_ =
+      simulate_inner_loop(params_.variant, params_.pipeline).issue_efficiency();
+  // The SGEMM kernel has the same 32-instruction structure (16-wide SP FMAs
+  // instead of 8-wide DP), so its issue efficiency matches.
+  issue_eff_sp_ = issue_eff_dp_;
+}
+
+std::size_t KncGemmModel::tile_rows() const noexcept {
+  return params_.variant == KernelVariant::kBasic2 ? 30 : 31;
+}
+
+double KncGemmModel::issue_efficiency(Precision p) const noexcept {
+  return p == Precision::kDouble ? issue_eff_dp_ : issue_eff_sp_;
+}
+
+double KncGemmModel::working_set_bytes(std::size_t k, Precision p) const noexcept {
+  const double elem = p == Precision::kDouble ? 8.0 : 4.0;
+  const double m = static_cast<double>(params_.block_m);
+  const double n = static_cast<double>(params_.block_n);
+  const double dk = static_cast<double>(k);
+  return elem * (m * dk + n * dk + m * n);
+}
+
+double KncGemmModel::block_efficiency(std::size_t k, Precision p) const noexcept {
+  if (k == 0) return 0.0;
+  const double update_cycles = p == Precision::kDouble
+                                   ? params_.update_overhead_cycles_dp
+                                   : params_.update_overhead_cycles_sp;
+  const double const_ovh = p == Precision::kDouble ? params_.const_overhead_dp
+                                                   : params_.const_overhead_sp;
+  const double dk = static_cast<double>(k);
+  const double amortization = dk / (dk + update_cycles);
+  const double overflow =
+      std::max(0.0, working_set_bytes(k, p) - params_.l2_usable_bytes);
+  const double l2_pen =
+      params_.l2_penalty_max *
+      (1.0 - std::exp(-overflow / params_.l2_penalty_scale_bytes));
+  return issue_efficiency(p) * amortization * (1.0 - const_ovh) * (1.0 - l2_pen);
+}
+
+double KncGemmModel::utilization(std::size_t m, std::size_t n,
+                                 int cores) const noexcept {
+  if (m == 0 || n == 0 || cores <= 0) return 0.0;
+  // Load balance of per-core L2 blocks over the cores.
+  const std::size_t tasks =
+      ceil_div(m, params_.block_m) * ceil_div(n, params_.block_n);
+  const double rounds = static_cast<double>(ceil_div(tasks, cores));
+  const double balance =
+      static_cast<double>(tasks) / (rounds * static_cast<double>(cores));
+  // Register-tile edge waste: partial tiles execute full-width vector work.
+  const double padded_m =
+      static_cast<double>(ceil_div(m, tile_rows()) * tile_rows());
+  const double padded_n =
+      static_cast<double>(ceil_div(n, params_.tile_cols) * params_.tile_cols);
+  const double edge = (static_cast<double>(m) * static_cast<double>(n)) /
+                      (padded_m * padded_n);
+  return balance * edge;
+}
+
+double KncGemmModel::outer_product_seconds(std::size_t m, std::size_t n,
+                                           std::size_t k, Precision p,
+                                           int cores) const noexcept {
+  if (m == 0 || n == 0 || k == 0) return 0.0;
+  const double flops = util::gemm_flops(m, n, k);
+  const double eff = block_efficiency(k, p) * utilization(m, n, cores);
+  const double peak = spec_.peak_gflops(p, cores) * 1e9;
+  if (eff <= 0.0 || peak <= 0.0) return 0.0;
+  return flops / (peak * eff) + params_.fixed_outer_product_seconds;
+}
+
+double KncGemmModel::pack_seconds(std::size_t m, std::size_t n, std::size_t k,
+                                  Precision p) const noexcept {
+  const double elem = p == Precision::kDouble ? 8.0 : 4.0;
+  // Read the source once and write the packed tiles once.
+  const double bytes = 2.0 * elem * static_cast<double>(k) *
+                       (static_cast<double>(m) + static_cast<double>(n));
+  const double size_proxy = static_cast<double>(std::max(m, n));
+  const double bw_gbs = spec_.stream_bw_gbs * size_proxy /
+                        (size_proxy + params_.pack_bw_half_size);
+  return bytes / (bw_gbs * 1e9);
+}
+
+double KncGemmModel::gemm_seconds(std::size_t m, std::size_t n,
+                                  std::size_t big_k, std::size_t k,
+                                  bool include_packing, Precision p,
+                                  int cores) const noexcept {
+  double total = 0.0;
+  for (std::size_t k0 = 0; k0 < big_k; k0 += k) {
+    const std::size_t kc = std::min(k, big_k - k0);
+    total += outer_product_seconds(m, n, kc, p, cores);
+    if (include_packing) total += pack_seconds(m, n, kc, p);
+  }
+  return total;
+}
+
+double KncGemmModel::gemm_efficiency(std::size_t m, std::size_t n,
+                                     std::size_t big_k, std::size_t k,
+                                     bool include_packing, Precision p,
+                                     int cores) const noexcept {
+  const double t = gemm_seconds(m, n, big_k, k, include_packing, p, cores);
+  if (t <= 0.0) return 0.0;
+  const double flops = util::gemm_flops(m, n, big_k);
+  return flops / (t * spec_.peak_gflops(p, cores) * 1e9);
+}
+
+double KncGemmModel::gemm_gflops(std::size_t m, std::size_t n,
+                                 std::size_t big_k, std::size_t k,
+                                 bool include_packing, Precision p,
+                                 int cores) const noexcept {
+  return gemm_efficiency(m, n, big_k, k, include_packing, p, cores) *
+         spec_.peak_gflops(p, cores);
+}
+
+SnbModel::SnbModel(MachineSpec spec, SnbModelParams params)
+    : spec_(std::move(spec)), params_(params) {}
+
+double SnbModel::dgemm_efficiency(std::size_t m, std::size_t n,
+                                  std::size_t k) const noexcept {
+  if (m == 0 || n == 0 || k == 0) return 0.0;
+  const double size = std::cbrt(static_cast<double>(m) *
+                                static_cast<double>(n) *
+                                static_cast<double>(k));
+  const double k_factor =
+      static_cast<double>(k) / (static_cast<double>(k) + params_.dgemm_k_half);
+  return params_.dgemm_peak_eff * size / (size + params_.dgemm_half_size) *
+         k_factor;
+}
+
+double SnbModel::dgemm_seconds(std::size_t m, std::size_t n, std::size_t k,
+                               int cores) const noexcept {
+  const double eff = dgemm_efficiency(m, n, k);
+  if (eff <= 0.0) return 0.0;
+  const double peak = spec_.peak_gflops(Precision::kDouble, cores) * 1e9;
+  return util::gemm_flops(m, n, k) / (peak * eff);
+}
+
+double SnbModel::dgemm_gflops(std::size_t m, std::size_t n,
+                              std::size_t k) const noexcept {
+  return dgemm_efficiency(m, n, k) * spec_.peak_gflops(Precision::kDouble);
+}
+
+double SnbModel::hpl_efficiency(std::size_t n) const noexcept {
+  const double dn = static_cast<double>(n);
+  return params_.hpl_peak_eff * dn / (dn + params_.hpl_half_size);
+}
+
+double SnbModel::hpl_gflops(std::size_t n) const noexcept {
+  return hpl_efficiency(n) * spec_.peak_gflops(Precision::kDouble);
+}
+
+double SnbModel::hpl_seconds(std::size_t n) const noexcept {
+  const double g = hpl_gflops(n);
+  return g > 0 ? util::linpack_flops(n) / (g * 1e9) : 0.0;
+}
+
+}  // namespace xphi::sim

@@ -1,0 +1,95 @@
+#include "sim/lu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/flops.h"
+
+namespace xphi::sim {
+
+namespace {
+double log2_at_least_one(double x) { return x > 2.0 ? std::log2(x) : 1.0; }
+}  // namespace
+
+KncLuModel::KncLuModel(MachineSpec spec, KncLuParams params,
+                       KncGemmParams gemm_params)
+    : spec_(std::move(spec)), params_(params), gemm_(spec_, gemm_params) {}
+
+double KncLuModel::panel_seconds(std::size_t rows, std::size_t nb,
+                                 int cores) const noexcept {
+  if (rows == 0 || nb == 0 || cores <= 0) return 0.0;
+  const double flops = util::getrf_panel_flops(rows, nb);
+  const double peak =
+      spec_.peak_gflops(Precision::kDouble, cores) * 1e9 * params_.panel_eff;
+  const double compute = flops / peak;
+  const double threads = static_cast<double>(cores) * spec_.threads_per_core;
+  const double sync = static_cast<double>(nb) * params_.pivot_sync_seconds *
+                      log2_at_least_one(threads);
+  return compute + sync;
+}
+
+double KncLuModel::swap_seconds(std::size_t nb, std::size_t width) const noexcept {
+  // nb row pairs, each `width` doubles, read + write both rows.
+  const double bytes = 2.0 * 2.0 * 8.0 * static_cast<double>(nb) *
+                       static_cast<double>(width);
+  const double bw = spec_.stream_bw_gbs * params_.swap_bw_fraction * 1e9;
+  return bytes / bw;
+}
+
+double KncLuModel::trsm_seconds(std::size_t nb, std::size_t width,
+                                int cores) const noexcept {
+  if (nb == 0 || width == 0 || cores <= 0) return 0.0;
+  const double flops = util::trsm_flops(nb, width);
+  const double peak =
+      spec_.peak_gflops(Precision::kDouble, cores) * 1e9 * params_.trsm_eff;
+  return flops / peak;
+}
+
+double KncLuModel::update_gemm_seconds(std::size_t rows, std::size_t n,
+                                       std::size_t k, int cores) const noexcept {
+  if (rows == 0 || n == 0 || k == 0 || cores <= 0) return 0.0;
+  const double eff = gemm_.block_efficiency(k, Precision::kDouble) *
+                     gemm_.utilization(rows, n, cores);
+  if (eff <= 0.0) return 0.0;
+  const double peak = spec_.peak_gflops(Precision::kDouble, cores) * 1e9;
+  return util::gemm_flops(rows, n, k) / (peak * eff);
+}
+
+SnbLuModel::SnbLuModel(MachineSpec spec, SnbLuParams params,
+                       SnbModelParams dgemm_params)
+    : spec_(std::move(spec)), params_(params), dgemm_(spec_, dgemm_params) {}
+
+double SnbLuModel::panel_seconds(std::size_t rows, std::size_t nb,
+                                 int cores) const noexcept {
+  if (rows == 0 || nb == 0 || cores <= 0) return 0.0;
+  const double flops = util::getrf_panel_flops(rows, nb);
+  const double peak =
+      spec_.peak_gflops(Precision::kDouble, cores) * 1e9 * params_.panel_eff;
+  const double threads = static_cast<double>(cores) * spec_.threads_per_core;
+  const double sync = static_cast<double>(nb) * params_.pivot_sync_seconds *
+                      log2_at_least_one(threads);
+  return flops / peak + sync;
+}
+
+double SnbLuModel::swap_seconds(std::size_t nb, std::size_t width) const noexcept {
+  const double bytes = 2.0 * 2.0 * 8.0 * static_cast<double>(nb) *
+                       static_cast<double>(width);
+  const double bw = spec_.stream_bw_gbs * params_.swap_bw_fraction * 1e9;
+  return bytes / bw;
+}
+
+double SnbLuModel::trsm_seconds(std::size_t nb, std::size_t width,
+                                int cores) const noexcept {
+  if (nb == 0 || width == 0 || cores <= 0) return 0.0;
+  const double flops = util::trsm_flops(nb, width);
+  const double peak =
+      spec_.peak_gflops(Precision::kDouble, cores) * 1e9 * params_.trsm_eff;
+  return flops / peak;
+}
+
+double SnbLuModel::dgemm_seconds(std::size_t m, std::size_t n, std::size_t k,
+                                 int cores) const noexcept {
+  return dgemm_.dgemm_seconds(m, n, k, cores);
+}
+
+}  // namespace xphi::sim

@@ -1,0 +1,110 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace xphi::sim {
+
+std::vector<VectorOp> kernel_instruction_stream(KernelVariant variant) {
+  std::vector<VectorOp> ops;
+  switch (variant) {
+    case KernelVariant::kBasic1:
+    case KernelVariant::kNoPrefetch: {
+      // vload of the 8-wide row of b, then 31 vmadds each 1to8-broadcasting an
+      // element of a from memory (Figure 2b).
+      ops.push_back({.is_fma = false, .reads_memory = true});
+      for (int i = 0; i < 31; ++i)
+        ops.push_back({.is_fma = true, .reads_memory = true});
+      break;
+    }
+    case KernelVariant::kBasic2: {
+      // vload b row; 4to8 broadcast of a[0..3] into v30; the four vmadds that
+      // swizzle their a-operand out of v30 make no memory access and are
+      // interleaved so that each expected L1 fill (one near the start of the
+      // iteration for the b row, one mid-iteration for the shared a column)
+      // finds a free-port "hole" nearby (Figure 2c).
+      ops.push_back({.is_fma = false, .reads_memory = true});   // vload b
+      ops.push_back({.is_fma = false, .reads_memory = true});   // vbcast 4to8
+      ops.push_back({.is_fma = true, .reads_memory = false});   // swizzle 0
+      ops.push_back({.is_fma = true, .reads_memory = false});   // swizzle 1
+      for (int i = 0; i < 13; ++i)
+        ops.push_back({.is_fma = true, .reads_memory = true});
+      ops.push_back({.is_fma = true, .reads_memory = false});   // swizzle 2
+      ops.push_back({.is_fma = true, .reads_memory = false});   // swizzle 3
+      for (int i = 0; i < 13; ++i)
+        ops.push_back({.is_fma = true, .reads_memory = true});
+      break;
+    }
+  }
+  assert(ops.size() == 32);
+  return ops;
+}
+
+PipelineResult simulate_inner_loop(KernelVariant variant,
+                                   const PipelineParams& params,
+                                   std::size_t iterations) {
+  const std::vector<VectorOp> stream = kernel_instruction_stream(variant);
+
+  double cycles = 0;
+  double stalls = 0;
+  double fma = 0;
+
+  if (variant == KernelVariant::kNoPrefetch) {
+    // Demand misses: each of the `fills_per_iteration` lines exposes the L2
+    // hit latency, partially hidden by the other SMT threads issuing while
+    // this thread waits.
+    const double exposed_per_fill =
+        static_cast<double>(params.l2_hit_latency) / params.smt_threads;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      for (const VectorOp& op : stream) {
+        cycles += 1;
+        if (op.is_fma) fma += 1;
+      }
+      const double extra = params.fills_per_iteration * exposed_per_fill;
+      cycles += extra;
+      stalls += extra;
+    }
+    return {cycles / iterations, fma / iterations, stalls / iterations};
+  }
+
+  // Software-prefetched variants: fills arrive from L2 spaced uniformly over
+  // the iteration and need one cycle with a free L1 port to complete.
+  std::deque<int> pending_fill_ages;
+  double fill_credit = 0;  // fractional fills accumulated across iterations
+  for (std::size_t it = 0; it < iterations; ++it) {
+    fill_credit += params.fills_per_iteration;
+    int fills_this_iter = static_cast<int>(fill_credit);
+    fill_credit -= fills_this_iter;
+    // Spawn points: spread fills evenly over the 32-op iteration.
+    std::vector<std::size_t> spawn_at;
+    for (int f = 0; f < fills_this_iter; ++f)
+      spawn_at.push_back(f * stream.size() / fills_this_iter);
+
+    std::size_t next_spawn = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      while (next_spawn < spawn_at.size() && spawn_at[next_spawn] == i) {
+        pending_fill_ages.push_back(0);
+        ++next_spawn;
+      }
+      const VectorOp& op = stream[i];
+      cycles += 1;
+      if (op.is_fma) fma += 1;
+      if (!op.reads_memory && !pending_fill_ages.empty()) {
+        pending_fill_ages.pop_front();  // free port: the oldest fill lands
+      } else {
+        for (int& age : pending_fill_ages) ++age;
+        while (!pending_fill_ages.empty() &&
+               pending_fill_ages.front() >= params.fill_deferral_threshold) {
+          // Deferred too long: the core stalls to let the fill take the port.
+          cycles += params.fill_stall_cycles;
+          stalls += params.fill_stall_cycles;
+          pending_fill_ages.pop_front();
+        }
+      }
+    }
+  }
+  return {cycles / iterations, fma / iterations, stalls / iterations};
+}
+
+}  // namespace xphi::sim

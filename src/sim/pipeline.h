@@ -1,0 +1,78 @@
+// Cycle-level model of the Knights Corner core executing the DGEMM inner loop.
+//
+// Reproduces the counting arguments of paper Sections II and III-A2 from first
+// principles rather than hard-coding the quoted efficiencies:
+//
+//  * The core issues one vector instruction per cycle (four hardware threads
+//    round-robin keep the in-order pipeline full; prefetches and scalar ops
+//    co-issue on the second pipe and take no vector slot).
+//  * The L1 cache has one read and one write port. A vector instruction with
+//    a memory operand occupies the read port for its cycle.
+//  * An L1 prefetch whose line sits in L2 needs BOTH ports for one cycle to
+//    evict a victim and fill the new line. If every cycle has the read port
+//    busy, the fill is deferred; after `fill_deferral_threshold` cycles the
+//    core stalls `fill_stall_cycles` to let it complete (Figure 1c).
+//
+// Three kernel variants are modeled:
+//  * Basic Kernel 1 (Figure 2b): 31 accumulators; every one of the 32 vector
+//    instructions per iteration reads memory, so the two fills per iteration
+//    each force a stall -> 31 vmadds / 34 cycles ~ 91%.
+//  * Basic Kernel 2 (Figure 2c): 30 accumulators + one 4to8 broadcast; the
+//    four swizzle-vmadds make no memory access, creating four port "holes"
+//    that absorb the two fills -> 30 vmadds / 32 cycles = 93.75%.
+//  * No software prefetch: every line comes in on demand and exposes a share
+//    of the L2 hit latency (ablation baseline).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xphi::sim {
+
+enum class KernelVariant {
+  kBasic1,      // 31-row register blocking, all operands from memory
+  kBasic2,      // 30-row blocking + broadcast/swizzle holes
+  kNoPrefetch,  // Basic Kernel 1 without software prefetch
+};
+
+/// One slot of the modeled instruction stream.
+struct VectorOp {
+  bool is_fma = false;     // contributes useful flops
+  bool reads_memory = false;  // occupies the L1 read port this cycle
+};
+
+struct PipelineParams {
+  // Average cache lines a thread must fill from L2 per loop iteration. The
+  // paper derives 2: one line for the 8-wide row of b, and 4 lines for the
+  // 31-element column of a shared by 4 threads (Section III-A2).
+  double fills_per_iteration = 2.0;
+  int fill_deferral_threshold = 8;  // cycles a fill may wait for a free port
+  int fill_stall_cycles = 1;        // forced stall when the threshold expires
+  int l2_hit_latency = 24;          // cycles (paper: "under 25 cycles")
+  int smt_threads = 4;              // hardware threads hiding the latency
+};
+
+struct PipelineResult {
+  double cycles_per_iteration = 0;  // including stalls
+  double fma_per_iteration = 0;     // useful vector FMAs per iteration
+  double stall_cycles_per_iteration = 0;
+  // fma / cycles: the kernel's issue efficiency (fraction of cycles doing
+  // useful vector FMAs).
+  double issue_efficiency() const {
+    return cycles_per_iteration > 0 ? fma_per_iteration / cycles_per_iteration
+                                    : 0.0;
+  }
+};
+
+/// Builds the per-iteration instruction stream of a kernel variant.
+/// `accumulators` is the number of C rows blocked in registers (paper: 31 for
+/// Basic Kernel 1, 30 for Basic Kernel 2; of the latter, 4 are swizzle-fed).
+std::vector<VectorOp> kernel_instruction_stream(KernelVariant variant);
+
+/// Simulates `iterations` of the inner loop cycle by cycle and returns the
+/// averaged per-iteration costs.
+PipelineResult simulate_inner_loop(KernelVariant variant,
+                                   const PipelineParams& params = {},
+                                   std::size_t iterations = 1024);
+
+}  // namespace xphi::sim

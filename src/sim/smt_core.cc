@@ -1,0 +1,97 @@
+#include "sim/smt_core.h"
+
+#include <cassert>
+#include <vector>
+
+namespace xphi::sim {
+
+namespace {
+
+/// One thread's instruction stream position. Addresses are generated lazily
+/// from the loop structure instead of materializing the whole trace.
+struct ThreadState {
+  std::size_t iter = 0;       // current k iteration
+  std::size_t slot = 0;       // instruction slot within the iteration
+  std::size_t end_iter = 0;   // first iteration NOT executed
+  std::uint64_t stall_until = 0;
+  std::uint64_t a_base = 0;   // packed a tile base address
+  std::uint64_t b_base = 0;   // packed b tile base address
+  bool done() const { return iter >= end_iter; }
+};
+
+}  // namespace
+
+SmtGemmResult simulate_smt_gemm(const SmtGemmConfig& cfg) {
+  SmtGemmResult res;
+  const std::size_t col_bytes = cfg.tile_rows * 8;  // one packed a column
+  // Per iteration: 1 vload of the 8-wide b row + tile_rows vmadds streaming
+  // the a column. The a column spans ceil(col_bytes/64) lines; the kernel
+  // touches each line once (the broadcast walks consecutive elements), so
+  // model one memory reference per touched line plus the b row load.
+  const std::size_t a_lines = (col_bytes + 63) / 64;
+  const std::size_t slots_per_iter = 1 + a_lines;  // b row + a lines
+
+  auto l1 = SetAssociativeCache::knc_l1();
+
+  std::vector<ThreadState> threads(cfg.threads);
+  const std::uint64_t a_tile_bytes = cfg.k * col_bytes;
+  for (int t = 0; t < cfg.threads; ++t) {
+    ThreadState& ts = threads[t];
+    ts.a_base = cfg.share_a_tile
+                    ? 0
+                    : static_cast<std::uint64_t>(t) * (a_tile_bytes + 4096);
+    ts.b_base = 1ull << 30;  // far from a
+    ts.b_base += static_cast<std::uint64_t>(t) * (cfg.k * 64 + 4096);
+    // Drift: thread 0 leads, later threads start behind (negative head
+    // start modeled by giving earlier threads extra leading iterations).
+    const std::size_t lead =
+        cfg.drift_iterations * static_cast<std::size_t>(cfg.threads - 1 - t);
+    ts.iter = 0;
+    ts.end_iter = cfg.k;
+    // Stagger by stalling the trailing threads at the start.
+    ts.stall_until = static_cast<std::uint64_t>(lead) * slots_per_iter;
+  }
+
+  std::uint64_t cycle = 0;
+  int next = 0;
+  std::size_t done_count = 0;
+  while (done_count < threads.size()) {
+    bool issued = false;
+    for (int probe = 0; probe < cfg.threads; ++probe) {
+      const int t = (next + probe) % cfg.threads;
+      ThreadState& ts = threads[t];
+      if (ts.done() || ts.stall_until > cycle) continue;
+      // Issue the next slot of this thread.
+      std::uint64_t addr;
+      if (ts.slot == 0) {
+        addr = ts.b_base + ts.iter * 64;  // the 8-wide row of b: one line
+      } else {
+        addr = ts.a_base + ts.iter * col_bytes + (ts.slot - 1) * 64;
+      }
+      ++res.instructions;
+      if (!l1.access(addr)) {
+        ++res.l1_misses;
+        ts.stall_until = cycle + cfg.l2_latency_cycles;
+      }
+      if (++ts.slot == slots_per_iter) {
+        ts.slot = 0;
+        ++ts.iter;
+        if (ts.done()) ++done_count;
+      }
+      next = (t + 1) % cfg.threads;
+      issued = true;
+      break;
+    }
+    ++cycle;
+    (void)issued;
+  }
+
+  res.cycles = cycle;
+  res.ipc = cycle ? static_cast<double>(res.instructions) / cycle : 0.0;
+  const double total_iters =
+      static_cast<double>(cfg.k) * static_cast<double>(cfg.threads);
+  res.lines_per_iteration = static_cast<double>(res.l1_misses) / total_iters;
+  return res;
+}
+
+}  // namespace xphi::sim

@@ -1,0 +1,55 @@
+// SMT core simulation: four hardware threads round-robin issuing through one
+// in-order pipe, sharing one L1 (paper Section II / III-A2).
+//
+// The pipeline model in sim/pipeline.h reproduces the port-conflict counting
+// argument; this model reproduces the paper's *data reuse* argument with a
+// functional cache:
+//
+//   "a is shared between four threads, while each thread accesses its own b
+//    and c. Sharing a between four threads provides reuse in L1 cache, since
+//    a line of a accessed by one of the threads is likely to remain in L1
+//    for the other three threads, as long as all threads are synchronized.
+//    ... each thread accesses five cache lines per loop iteration: one line
+//    for the 8-element row of b and four lines for the 31-element column of
+//    a. Since a is shared among four threads, the four lines are only
+//    brought in once ... on average, each iteration of the kernel requires
+//    two cache lines to be brought from L2 into L1."
+//
+// simulate_smt_gemm() generates the real address streams of four threads
+// executing the basic kernel over packed tiles and runs them through a
+// round-robin SMT issue loop with a shared functional L1: the 5-vs-2
+// lines/iteration arithmetic, the benefit of sharing `a`, and the cost of
+// letting threads drift out of sync all come out as measured miss rates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/cache.h"
+
+namespace xphi::sim {
+
+struct SmtGemmConfig {
+  std::size_t k = 1024;           // inner-loop iterations per thread
+  std::size_t tile_rows = 30;     // column height of the packed a tile
+  int threads = 4;                // hardware threads per core
+  bool share_a_tile = true;       // all threads read the same packed a
+  // Iterations of head start thread t gets over thread t+1 (0 = the paper's
+  // synchronized execution; large drift defeats the L1 reuse of a).
+  std::size_t drift_iterations = 0;
+  int l2_latency_cycles = 24;     // stall on an L1 miss (line is in L2)
+};
+
+struct SmtGemmResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1_misses = 0;
+  double ipc = 0;  // issued instructions per cycle (1.0 = fully hidden)
+  /// Average L1 lines filled per loop iteration across all threads — the
+  /// quantity the paper derives as 2 (shared, synced) vs 5 (unshared).
+  double lines_per_iteration = 0;
+};
+
+SmtGemmResult simulate_smt_gemm(const SmtGemmConfig& config);
+
+}  // namespace xphi::sim

@@ -1,0 +1,110 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xphi::trace {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPanelFactor: return "DGETRF";
+    case SpanKind::kRowSwap: return "DLASWP";
+    case SpanKind::kTrsm: return "DTRSM";
+    case SpanKind::kGemm: return "DGEMM";
+    case SpanKind::kBarrier: return "barrier";
+    case SpanKind::kBroadcast: return "broadcast";
+    case SpanKind::kPcieTransfer: return "PCIe";
+    case SpanKind::kPack: return "pack";
+    case SpanKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+char span_kind_glyph(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPanelFactor: return 'G';
+    case SpanKind::kRowSwap: return 'S';
+    case SpanKind::kTrsm: return 'T';
+    case SpanKind::kGemm: return 'M';
+    case SpanKind::kBarrier: return 'B';
+    case SpanKind::kBroadcast: return 'U';
+    case SpanKind::kPcieTransfer: return 'P';
+    case SpanKind::kPack: return 'K';
+    case SpanKind::kIdle: return '.';
+  }
+  return '?';
+}
+
+std::map<SpanKind, double> Timeline::busy_by_kind() const {
+  std::map<SpanKind, double> out;
+  for (const Span& s : spans_) out[s.kind] += s.duration();
+  return out;
+}
+
+double Timeline::lane_busy(std::size_t lane) const {
+  double t = 0;
+  for (const Span& s : spans_)
+    if (s.lane == lane && s.kind != SpanKind::kIdle) t += s.duration();
+  return t;
+}
+
+double Timeline::utilization() const {
+  if (lanes_ == 0 || end_ <= 0) return 0.0;
+  double busy = 0;
+  for (const Span& s : spans_)
+    if (s.kind != SpanKind::kIdle) busy += s.duration();
+  return busy / (end_ * static_cast<double>(lanes_));
+}
+
+std::string render_gantt(const Timeline& timeline, std::size_t width) {
+  const double end = timeline.end_time();
+  const std::size_t lanes = timeline.lanes();
+  if (end <= 0 || lanes == 0 || width == 0) return "(empty timeline)\n";
+  // occupancy[lane][bucket][kind] = seconds
+  std::vector<std::vector<std::map<SpanKind, double>>> occ(
+      lanes, std::vector<std::map<SpanKind, double>>(width));
+  const double bucket_w = end / static_cast<double>(width);
+  for (const Span& s : timeline.spans()) {
+    if (s.kind == SpanKind::kIdle) continue;
+    const std::size_t b0 =
+        std::min(width - 1, static_cast<std::size_t>(s.t0 / bucket_w));
+    const std::size_t b1 =
+        std::min(width - 1, static_cast<std::size_t>(s.t1 / bucket_w));
+    for (std::size_t b = b0; b <= b1; ++b) {
+      const double lo = std::max(s.t0, static_cast<double>(b) * bucket_w);
+      const double hi = std::min(s.t1, static_cast<double>(b + 1) * bucket_w);
+      if (hi > lo) occ[s.lane][b][s.kind] += hi - lo;
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    out << "g" << lane % 10 << " |";
+    for (std::size_t b = 0; b < width; ++b) {
+      SpanKind best = SpanKind::kIdle;
+      double best_t = bucket_w * 0.05;  // <5% occupancy renders as idle
+      for (const auto& [kind, t] : occ[lane][b]) {
+        if (t > best_t) {
+          best_t = t;
+          best = kind;
+        }
+      }
+      out << span_kind_glyph(best);
+    }
+    out << "|\n";
+  }
+  out << "legend: G=DGETRF S=DLASWP T=DTRSM M=DGEMM B=barrier U=bcast "
+         "P=PCIe K=pack .=idle  (total "
+      << end << " s)\n";
+  return out.str();
+}
+
+std::string timeline_to_csv(const Timeline& timeline) {
+  std::ostringstream out;
+  out << "lane,kind,t0,t1\n";
+  for (const Span& s : timeline.spans())
+    out << s.lane << ',' << span_kind_name(s.kind) << ',' << s.t0 << ','
+        << s.t1 << '\n';
+  return out.str();
+}
+
+}  // namespace xphi::trace

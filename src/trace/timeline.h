@@ -1,0 +1,83 @@
+// Span recording for execution timelines.
+//
+// The LU schedulers are discrete-event simulations; every task they run is
+// recorded as a Span on a lane (one lane per thread group, mirroring the
+// "black lines separate thread groups" layout of the paper's Figure 7 Gantt
+// chart). The Timeline can aggregate busy time per task kind — the numbers
+// behind Figure 9's per-iteration breakdown — and render an ASCII Gantt.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xphi::trace {
+
+/// Task categories across all schedulers (superset; each scheduler uses a
+/// subset).
+enum class SpanKind {
+  kPanelFactor,   // DGETRF          (violet in Figure 7)
+  kRowSwap,       // DLASWP          (light blue)
+  kTrsm,          // DTRSM           (orange)
+  kGemm,          // DGEMM           (green)
+  kBarrier,       // global barrier  (white)
+  kBroadcast,     // U / panel broadcast (hybrid only)
+  kPcieTransfer,  // DMA to/from the coprocessor (hybrid only)
+  kPack,          // packing into tile format
+  kIdle,
+};
+
+const char* span_kind_name(SpanKind kind);
+char span_kind_glyph(SpanKind kind);
+
+struct Span {
+  std::size_t lane = 0;
+  SpanKind kind = SpanKind::kIdle;
+  double t0 = 0;
+  double t1 = 0;
+  double duration() const noexcept { return t1 - t0; }
+};
+
+class Timeline {
+ public:
+  void record(std::size_t lane, SpanKind kind, double t0, double t1) {
+    if (t1 > t0) spans_.push_back({lane, kind, t0, t1});
+    if (lane + 1 > lanes_) lanes_ = lane + 1;
+    if (t1 > end_) end_ = t1;
+  }
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  std::size_t lanes() const noexcept { return lanes_; }
+  double end_time() const noexcept { return end_; }
+
+  /// Total busy seconds per kind, summed over lanes.
+  std::map<SpanKind, double> busy_by_kind() const;
+
+  /// Total busy seconds on one lane.
+  double lane_busy(std::size_t lane) const;
+
+  /// Fraction of (lanes * end_time) spent busy — the area utilization.
+  double utilization() const;
+
+  void clear() {
+    spans_.clear();
+    lanes_ = 0;
+    end_ = 0;
+  }
+
+ private:
+  std::vector<Span> spans_;
+  std::size_t lanes_ = 0;
+  double end_ = 0;
+};
+
+/// Renders the timeline as an ASCII Gantt chart: one text row per lane,
+/// `width` time buckets, each bucket showing the glyph of the kind that
+/// occupies most of it ('.' when idle). Includes a legend.
+std::string render_gantt(const Timeline& timeline, std::size_t width = 100);
+
+/// Serializes the spans as CSV (lane,kind,t0,t1) for external plotting.
+std::string timeline_to_csv(const Timeline& timeline);
+
+}  // namespace xphi::trace

@@ -1,0 +1,90 @@
+// Aligned heap storage for matrix data.
+//
+// Knights Corner's 512-bit vector unit operates on 64-byte cache lines; the
+// packing routines in blas/pack.h assume tile storage is cache-line aligned so
+// that a packed tile column never straddles a line. AlignedBuffer provides
+// RAII storage with that alignment on any host.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace xphi::util {
+
+/// Cache-line size assumed throughout the library (both Knights Corner and
+/// Sandy Bridge EP use 64-byte lines, see DESIGN.md Table I notes).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, cache-line-aligned array of trivially destructible elements.
+///
+/// Unlike std::vector, the allocation is guaranteed to start on a cache-line
+/// boundary, which the packed-tile GEMM kernels rely on.
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer only supports trivially destructible types");
+
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocates to hold `count` value-initialized elements.
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes =
+        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+        kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    data_ = static_cast<T*>(p);
+    size_ = count;
+    for (std::size_t i = 0; i < count; ++i) data_[i] = T{};
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xphi::util

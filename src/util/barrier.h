@@ -1,0 +1,50 @@
+// Reusable spin barrier.
+//
+// The paper's LU schedulers use two kinds of barriers: infrequent global
+// barriers (between super-stages, or between stages in the static look-ahead
+// scheme) and frequent fast intra-group barriers that keep the four hardware
+// threads of a core coherent while sharing the packed `a` tile in L1
+// (Section III-A2). Both map onto this sense-reversing spin barrier in the
+// functional executors.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace xphi::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), waiting_(0), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all parties arrive. Reusable across rounds.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      std::size_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 1024) {
+          std::this_thread::yield();  // single-core hosts need the yield
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace xphi::util

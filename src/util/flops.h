@@ -1,0 +1,55 @@
+// Floating-point operation counts for the kernels and benchmarks.
+//
+// These are the standard LAPACK working-note counts; the Linpack/HPL rating
+// convention (2/3 n^3 + 2 n^2 for factor+solve) is the one TOP500 uses and
+// the one every table in the paper reports against.
+#pragma once
+
+#include <cstddef>
+
+namespace xphi::util {
+
+/// GEMM: C(MxN) += A(MxK) * B(KxN) — one multiply and one add per element.
+constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+/// TRSM with an n x n triangular matrix applied to n x m right-hand sides.
+constexpr double trsm_flops(std::size_t n, std::size_t m) noexcept {
+  return static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(m);
+}
+
+/// Unblocked LU panel factorization of an m x n panel.
+/// Count: sum over columns j of (m-j-1) divides + 2*(m-j-1)*(n-j-1) update.
+constexpr double getrf_panel_flops(std::size_t m, std::size_t n) noexcept {
+  double f = 0;
+  const std::size_t steps = m < n ? m : n;
+  for (std::size_t j = 0; j < steps; ++j) {
+    const double rows = j + 1 < m ? static_cast<double>(m - j - 1) : 0.0;
+    const double cols = j + 1 < n ? static_cast<double>(n - j - 1) : 0.0;
+    f += rows + 2.0 * rows * cols;
+  }
+  return f;
+}
+
+/// Full LU factorization of an n x n matrix: 2/3 n^3 - 1/2 n^2 + ...
+constexpr double getrf_flops(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return 2.0 / 3.0 * dn * dn * dn - 0.5 * dn * dn - dn / 6.0;
+}
+
+/// Linpack/HPL rating flops for solving Ax=b with an n x n matrix
+/// (factorization + forward/backward substitution).
+constexpr double linpack_flops(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return 2.0 / 3.0 * dn * dn * dn + 2.0 * dn * dn;
+}
+
+/// GFLOPS given flops and seconds.
+constexpr double gflops(double flops, double seconds) noexcept {
+  return seconds > 0 ? flops / seconds * 1e-9 : 0.0;
+}
+
+}  // namespace xphi::util

@@ -1,0 +1,154 @@
+// Dense matrix container and non-owning view.
+//
+// All functional BLAS and LU code in this library operates on row-major
+// matrices (the paper's native DGEMM also assumes row-major storage;
+// column-major GEMM is derived by operand swap, see paper Section III-A).
+// MatrixView carries an explicit leading dimension so sub-blocks of a larger
+// factorization matrix can be addressed without copying.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+
+#include "util/aligned.h"
+
+namespace xphi::util {
+
+/// Non-owning view of a row-major matrix block.
+///
+/// `ld` is the leading dimension: the row stride (in elements) of the parent
+/// allocation. Invariant: ld >= cols.
+template <class T>
+class MatrixView {
+ public:
+  MatrixView() noexcept = default;
+  MatrixView(T* data, std::size_t rows, std::size_t cols, std::size_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld_ >= cols_ || rows_ == 0);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t ld() const noexcept { return ld_; }
+  T* data() const noexcept { return data_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * ld_ + c];
+  }
+
+  /// Row pointer (for streaming kernels).
+  T* row(std::size_t r) const noexcept { return data_ + r * ld_; }
+
+  /// Sub-block starting at (r0, c0) with `nr` x `nc` extent.
+  MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                   std::size_t nc) const noexcept {
+    assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  /// Implicit conversion to a const view.
+  operator MatrixView<const T>() const noexcept
+    requires(!std::is_const_v<T>)
+  {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+template <class T>
+using ConstMatrixView = MatrixView<const T>;
+
+/// Owning row-major matrix with cache-line-aligned storage.
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), ld_(cols), store_(rows * cols) {}
+
+  /// Matrix with padded leading dimension (e.g. to avoid power-of-two strides,
+  /// mirroring the cache-associativity concern in paper Section III-A3).
+  Matrix(std::size_t rows, std::size_t cols, std::size_t ld)
+      : rows_(rows), cols_(cols), ld_(ld), store_(rows * ld) {
+    assert(ld >= cols);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t ld() const noexcept { return ld_; }
+  T* data() noexcept { return store_.data(); }
+  const T* data() const noexcept { return store_.data(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return store_[r * ld_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return store_[r * ld_ + c];
+  }
+
+  MatrixView<T> view() noexcept {
+    return MatrixView<T>(store_.data(), rows_, cols_, ld_);
+  }
+  MatrixView<const T> view() const noexcept {
+    return MatrixView<const T>(store_.data(), rows_, cols_, ld_);
+  }
+  MatrixView<T> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                      std::size_t nc) noexcept {
+    return view().block(r0, c0, nr, nc);
+  }
+  MatrixView<const T> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                            std::size_t nc) const noexcept {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void fill(T value) {
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = value;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+  AlignedBuffer<T> store_;
+};
+
+/// Max-norm of the difference between two equally sized matrices.
+template <class T>
+double max_abs_diff(MatrixView<const T> a, MatrixView<const T> b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double d = static_cast<double>(a(r, c)) - static_cast<double>(b(r, c));
+      m = d > m ? d : (-d > m ? -d : m);
+    }
+  return m;
+}
+
+/// Infinity norm (max absolute row sum).
+template <class T>
+double norm_inf(MatrixView<const T> a) {
+  double m = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double s = 0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double v = static_cast<double>(a(r, c));
+      s += v >= 0 ? v : -v;
+    }
+    if (s > m) m = s;
+  }
+  return m;
+}
+
+}  // namespace xphi::util

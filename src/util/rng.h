@@ -1,0 +1,75 @@
+// Deterministic pseudo-random fills.
+//
+// HPL generates its input matrix with a reproducible linear congruential
+// generator so that runs are comparable across machines and process grids.
+// We follow the same discipline: Rng is a small splitmix64-based generator
+// whose stream depends only on the seed, and fill_hpl_matrix() produces the
+// same global matrix regardless of how it is partitioned, by seeding each
+// entry from its global (row, col) coordinates. That property is what lets
+// the distributed HPL tests compare against a single-node factorization.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "util/matrix.h"
+
+namespace xphi::util {
+
+/// splitmix64: tiny, high-quality, seedable generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [-0.5, 0.5), matching HPL's matrix entry range.
+  double next_centered() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 - 0.5;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) noexcept {
+    return lo + (static_cast<double>(next_u64() >> 11) * 0x1.0p-53) * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Value of the global HPL test matrix at (row, col) for a given seed.
+///
+/// Stateless in the position: every rank can evaluate any entry it owns
+/// without generating the whole stream.
+inline double hpl_entry(std::uint64_t seed, std::size_t row, std::size_t col) noexcept {
+  Rng g(seed ^ (0x9E3779B97F4A7C15ull * (row + 1)) ^
+        (0xC2B2AE3D27D4EB4Full * (col + 1)));
+  return g.next_centered();
+}
+
+/// Fills `a` with the entries of the global HPL matrix whose top-left corner
+/// is at global coordinates (row0, col0).
+template <class T>
+void fill_hpl_matrix(MatrixView<T> a, std::uint64_t seed, std::size_t row0 = 0,
+                     std::size_t col0 = 0) {
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      a(r, c) = static_cast<T>(hpl_entry(seed, row0 + r, col0 + c));
+}
+
+/// Fills with a diagonally dominant variant (adds n to the diagonal), used by
+/// tests that want a well-conditioned matrix where pivoting never permutes.
+template <class T>
+void fill_diag_dominant(MatrixView<T> a, std::uint64_t seed) {
+  fill_hpl_matrix(a, seed);
+  const std::size_t n = a.rows() < a.cols() ? a.rows() : a.cols();
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) += static_cast<T>(static_cast<double>(a.cols()));
+}
+
+}  // namespace xphi::util

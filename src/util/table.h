@@ -1,0 +1,42 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every bench binary regenerates one paper table or figure; the Table class
+// prints the rows in an aligned fixed-width layout on stdout and can also
+// write the same data as CSV next to the binary for plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xphi::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(int v);
+
+  /// Renders the table with a header rule, aligned columns.
+  std::string to_string() const;
+
+  /// Renders the table as CSV (headers first).
+  std::string to_csv() const;
+
+  /// Prints to stdout and, if path non-empty, writes CSV to the path.
+  void print(const std::string& csv_path = "") const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xphi::util

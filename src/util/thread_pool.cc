@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xphi::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(std::size_t)> fn;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || job_.epoch > seen; });
+      if (stop_ && job_.epoch <= seen) return;
+      seen = job_.epoch;
+      fn = job_.fn;
+    }
+    fn(index);
+    {
+      std::lock_guard lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+  {
+    std::lock_guard lk(mu_);
+    job_.fn = body;
+    job_.epoch = ++epoch_;
+    pending_ = workers_.size();
+  }
+  cv_start_.notify_all();
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t participants = workers_.size() + 1;  // workers + caller
+  const std::size_t chunk = (count + participants - 1) / participants;
+  auto run_range = [&](std::size_t part) {
+    const std::size_t lo = std::min(count, part * chunk);
+    const std::size_t hi = std::min(count, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  };
+  {
+    std::lock_guard lk(mu_);
+    job_.fn = run_range;
+    job_.epoch = ++epoch_;
+    pending_ = workers_.size();
+  }
+  cv_start_.notify_all();
+  run_range(workers_.size());  // caller works its own block concurrently
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+}  // namespace xphi::util

@@ -1,0 +1,59 @@
+// Minimal work-sharing thread pool for the functional (real-numerics) paths.
+//
+// The simulated paths never use host threads — they run on virtual clocks —
+// but the functional GEMM/LU executors need real shared-memory parallelism to
+// validate that the paper's scheduling protocols (DAG array, master-thread
+// task acquisition, work stealing) are race-free. The pool is deliberately
+// simple: persistent workers, a parallel_for with block distribution, and a
+// run_on_all that hands each worker its index (the LU executors build the
+// paper's thread-group structure on top of that).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xphi::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` persistent workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count) distributed in contiguous blocks across
+  /// all workers plus the calling thread. Blocks until complete.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Runs body(worker_index) once on every worker (and index size() on the
+  /// calling thread if include_caller). Blocks until complete.
+  void run_on_all(const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> fn;  // receives worker index
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace xphi::util

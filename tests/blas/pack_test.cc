@@ -1,0 +1,131 @@
+#include "blas/pack.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace xphi::blas {
+namespace {
+
+using util::Matrix;
+
+TEST(PackA, TileLayoutIsColumnMajor) {
+  Matrix<double> a(60, 5);  // exactly two 30-row tiles
+  util::fill_hpl_matrix(a.view(), 1);
+  PackedA<double> pa;
+  pa.pack(a.view());
+  ASSERT_EQ(pa.tiles(), 2u);
+  EXPECT_EQ(pa.tile_rows(), kTileRows);
+  // Element (r, j) of tile t == tile[j * tile_rows + r].
+  for (std::size_t t = 0; t < 2; ++t)
+    for (std::size_t j = 0; j < 5; ++j)
+      for (std::size_t r = 0; r < 30; ++r)
+        EXPECT_EQ(pa.tile(t)[j * 30 + r], a(t * 30 + r, j));
+}
+
+TEST(PackA, EdgeTileZeroPadded) {
+  Matrix<double> a(35, 4);  // second tile has 5 live rows
+  util::fill_hpl_matrix(a.view(), 2);
+  PackedA<double> pa;
+  pa.pack(a.view());
+  ASSERT_EQ(pa.tiles(), 2u);
+  EXPECT_EQ(pa.tile_height(0), 30u);
+  EXPECT_EQ(pa.tile_height(1), 5u);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t r = 5; r < 30; ++r)
+      EXPECT_EQ(pa.tile(1)[j * 30 + r], 0.0);
+}
+
+TEST(PackB, TileLayoutIsRowMajor) {
+  Matrix<double> b(7, 16);  // two 8-column tiles
+  util::fill_hpl_matrix(b.view(), 3);
+  PackedB<double> pb;
+  pb.pack(b.view());
+  ASSERT_EQ(pb.tiles(), 2u);
+  for (std::size_t t = 0; t < 2; ++t)
+    for (std::size_t j = 0; j < 7; ++j)
+      for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_EQ(pb.tile(t)[j * 8 + c], b(j, t * 8 + c));
+}
+
+TEST(PackB, EdgeTileZeroPadded) {
+  Matrix<double> b(3, 11);  // second tile has 3 live columns
+  util::fill_hpl_matrix(b.view(), 4);
+  PackedB<double> pb;
+  pb.pack(b.view());
+  ASSERT_EQ(pb.tiles(), 2u);
+  EXPECT_EQ(pb.tile_width(1), 3u);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t c = 3; c < 8; ++c)
+      EXPECT_EQ(pb.tile(1)[j * 8 + c], 0.0);
+}
+
+TEST(PackA, CustomTileRowsForBasicKernel1) {
+  Matrix<double> a(31, 3);
+  util::fill_hpl_matrix(a.view(), 5);
+  PackedA<double> pa;
+  pa.pack(a.view(), /*tile_rows=*/31);
+  EXPECT_EQ(pa.tiles(), 1u);
+  EXPECT_EQ(pa.tile_rows(), 31u);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t r = 0; r < 31; ++r)
+      EXPECT_EQ(pa.tile(0)[j * 31 + r], a(r, j));
+}
+
+TEST(PackA, PackFromSubBlock) {
+  // Packing must honor the leading dimension of a sub-block view.
+  Matrix<double> big(40, 40);
+  util::fill_hpl_matrix(big.view(), 6);
+  PackedA<double> pa;
+  pa.pack(big.block(5, 7, 30, 4));
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t r = 0; r < 30; ++r)
+      EXPECT_EQ(pa.tile(0)[j * 30 + r], big(5 + r, 7 + j));
+}
+
+TEST(Pack, FloatSpecialization) {
+  Matrix<float> a(8, 2);
+  util::fill_hpl_matrix(a.view(), 7);
+  PackedA<float> pa;
+  pa.pack(a.view());
+  EXPECT_EQ(pa.tiles(), 1u);
+  EXPECT_EQ(pa.tile(0)[0], a(0, 0));
+}
+
+TEST(Pack, ParallelPackMatchesSerial) {
+  util::ThreadPool pool(3);
+  Matrix<double> a(317, 40);
+  util::fill_hpl_matrix(a.view(), 10);
+  PackedA<double> serial, parallel;
+  serial.pack(a.view());
+  parallel.pack(a.view(), kTileRows, &pool);
+  ASSERT_EQ(serial.tiles(), parallel.tiles());
+  for (std::size_t t = 0; t < serial.tiles(); ++t)
+    for (std::size_t i = 0; i < kTileRows * 40; ++i)
+      ASSERT_EQ(serial.tile(t)[i], parallel.tile(t)[i]) << t << ":" << i;
+
+  Matrix<double> b(40, 213);
+  util::fill_hpl_matrix(b.view(), 11);
+  PackedB<double> bs, bp;
+  bs.pack(b.view());
+  bp.pack(b.view(), kTileCols, &pool);
+  ASSERT_EQ(bs.tiles(), bp.tiles());
+  for (std::size_t t = 0; t < bs.tiles(); ++t)
+    for (std::size_t i = 0; i < kTileCols * 40; ++i)
+      ASSERT_EQ(bs.tile(t)[i], bp.tile(t)[i]);
+}
+
+TEST(Pack, RepackReusesObject) {
+  PackedA<double> pa;
+  Matrix<double> a1(30, 2), a2(60, 3);
+  util::fill_hpl_matrix(a1.view(), 8);
+  util::fill_hpl_matrix(a2.view(), 9);
+  pa.pack(a1.view());
+  EXPECT_EQ(pa.tiles(), 1u);
+  pa.pack(a2.view());
+  EXPECT_EQ(pa.tiles(), 2u);
+  EXPECT_EQ(pa.tile(1)[0], a2(30, 0));
+}
+
+}  // namespace
+}  // namespace xphi::blas

@@ -1,0 +1,202 @@
+#include "core/hybrid_hpl.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace xphi::core {
+namespace {
+
+HybridHplResult run(std::size_t n, int p, int q, int cards, Lookahead s,
+                    std::size_t mem = 64, bool profile = false) {
+  HybridHplConfig cfg;
+  cfg.n = n;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.cards = cards;
+  cfg.scheme = s;
+  cfg.host_mem_gib = mem;
+  cfg.capture_profile = profile;
+  return simulate_hybrid_hpl(cfg);
+}
+
+// ---- Table III anchors (tolerance 3 points absolute efficiency; the
+// shape tests below pin the orderings exactly). ----
+
+TEST(HybridHpl, CpuOnlySingleNode) {
+  const auto r = run(84000, 1, 1, 0, Lookahead::kBasic);
+  EXPECT_NEAR(r.efficiency, 0.864, 0.03);
+  EXPECT_NEAR(r.gflops / 1000.0, 0.29, 0.02);
+}
+
+TEST(HybridHpl, CpuOnly2x2) {
+  const auto r = run(168000, 2, 2, 0, Lookahead::kBasic);
+  EXPECT_NEAR(r.efficiency, 0.828, 0.03);
+}
+
+TEST(HybridHpl, OneCardSingleNode) {
+  EXPECT_NEAR(run(84000, 1, 1, 1, Lookahead::kBasic).efficiency, 0.710, 0.03);
+  EXPECT_NEAR(run(84000, 1, 1, 1, Lookahead::kPipelined).efficiency, 0.798,
+              0.03);
+}
+
+TEST(HybridHpl, OneCardCluster100Nodes) {
+  const auto np = run(825000, 10, 10, 1, Lookahead::kBasic);
+  const auto pipe = run(825000, 10, 10, 1, Lookahead::kPipelined);
+  EXPECT_NEAR(np.efficiency, 0.677, 0.03);
+  EXPECT_NEAR(pipe.efficiency, 0.761, 0.03);
+  // The headline: over 76% at 107 TFLOPS on the 100-node cluster.
+  EXPECT_NEAR(pipe.gflops / 1000.0, 107.0, 4.0);
+}
+
+TEST(HybridHpl, TwoCardRows) {
+  EXPECT_NEAR(run(84000, 1, 1, 2, Lookahead::kPipelined).efficiency, 0.766,
+              0.03);
+  EXPECT_NEAR(run(822000, 10, 10, 2, Lookahead::kPipelined).gflops / 1000.0,
+              175.8, 8.0);
+}
+
+TEST(HybridHpl, BigMemoryRowImprovesEfficiency) {
+  // Table III last row: doubling host memory (larger N) lifts efficiency.
+  const auto small = run(168000, 2, 2, 1, Lookahead::kPipelined, 64);
+  const auto big = run(242000, 2, 2, 1, Lookahead::kPipelined, 128);
+  EXPECT_GT(big.efficiency, small.efficiency);
+  EXPECT_NEAR(big.efficiency, 0.796, 0.03);
+  EXPECT_TRUE(big.fits_memory);
+}
+
+TEST(HybridHpl, MemoryCapacityCheck) {
+  const auto r = run(242000, 1, 1, 1, Lookahead::kPipelined, 64);
+  EXPECT_FALSE(r.fits_memory);  // 242K^2 doubles >> 64 GiB
+}
+
+// ---- Shape assertions ----
+
+TEST(HybridHpl, PipelineAlwaysWins) {
+  for (int cards : {1, 2}) {
+    const auto np = run(84000, 1, 1, cards, Lookahead::kBasic);
+    const auto pipe = run(84000, 1, 1, cards, Lookahead::kPipelined);
+    EXPECT_GT(pipe.gflops, np.gflops) << cards << " cards";
+    // Paper: pipelined look-ahead improves efficiency by 7-9 points.
+    EXPECT_NEAR(pipe.efficiency - np.efficiency, 0.08, 0.05);
+  }
+}
+
+TEST(HybridHpl, BasicBeatsNoLookahead) {
+  const auto none = run(84000, 1, 1, 1, Lookahead::kNone);
+  const auto basic = run(84000, 1, 1, 1, Lookahead::kBasic);
+  EXPECT_GT(basic.gflops, none.gflops);
+}
+
+TEST(HybridHpl, ExposureMatchesFig9) {
+  // Figure 9: basic look-ahead leaves >= 13%-ish of each iteration exposed;
+  // pipelining brings it under ~3%.
+  const auto np = run(168000, 2, 2, 2, Lookahead::kBasic);
+  const auto pipe = run(168000, 2, 2, 2, Lookahead::kPipelined);
+  EXPECT_GT(np.exposed_fraction, 0.10);
+  EXPECT_LT(pipe.exposed_fraction, 0.06);
+}
+
+TEST(HybridHpl, MultiNodeDegradationAboutFourPercent) {
+  // Paper: multi-node runs lose ~4% vs a single node at the same local size.
+  const auto one = run(84000, 1, 1, 1, Lookahead::kPipelined);
+  const auto four = run(168000, 2, 2, 1, Lookahead::kPipelined);
+  const double loss = one.efficiency - four.efficiency;
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 0.06);
+}
+
+TEST(HybridHpl, SecondCardLosesEfficiencyButGainsThroughput) {
+  const auto c1 = run(84000, 1, 1, 1, Lookahead::kPipelined);
+  const auto c2 = run(84000, 1, 1, 2, Lookahead::kPipelined);
+  EXPECT_GT(c2.gflops, c1.gflops);
+  EXPECT_LT(c2.efficiency, c1.efficiency);
+  // Paper: ~4.2 points loss from the second card.
+  EXPECT_NEAR(c1.efficiency - c2.efficiency, 0.042, 0.03);
+}
+
+TEST(HybridHpl, ProfileCapturedAndConsistent) {
+  const auto r = run(84000, 1, 1, 1, Lookahead::kPipelined, 64, true);
+  ASSERT_EQ(r.profile.size(), 70u);
+  double sum = 0;
+  for (const auto& it : r.profile) sum += it.total_seconds;
+  EXPECT_NEAR(sum, r.seconds, r.seconds * 0.05);  // plus solve tail
+  // Early iterations dominate (the trailing matrix shrinks cubically).
+  EXPECT_GT(r.profile.front().total_seconds, r.profile.back().total_seconds);
+}
+
+TEST(HybridHpl, PanelGrowsExposedInLateIterationsUnderPipelining) {
+  // Paper Figure 9b: with pipelining the panel gets exposed more in later
+  // stages, because the pipelined steps delay it while updates shrink.
+  const auto r = run(84000, 1, 1, 1, Lookahead::kPipelined, 64, true);
+  const auto& early = r.profile[5];
+  const auto& late = r.profile[r.profile.size() - 5];
+  EXPECT_EQ(early.exposed_panel, 0.0);
+  EXPECT_GT(late.exposed_panel, 0.0);
+}
+
+TEST(HybridHpl, MorePipelineSubsetsHelpUpToOverhead) {
+  HybridHplConfig cfg;
+  cfg.n = 84000;
+  cfg.scheme = Lookahead::kPipelined;
+  cfg.pipeline_subsets = 1;
+  const auto one = simulate_hybrid_hpl(cfg);
+  cfg.pipeline_subsets = 8;
+  const auto eight = simulate_hybrid_hpl(cfg);
+  cfg.pipeline_subsets = 64;  // per-subset overhead starts to dominate
+  const auto many = simulate_hybrid_hpl(cfg);
+  EXPECT_GT(eight.gflops, one.gflops);
+  EXPECT_GT(eight.gflops, many.gflops * 0.99);
+}
+
+TEST(HybridHpl, SchemeOrderingHoldsAcrossGridsAndCards) {
+  for (int cards : {1, 2}) {
+    for (int p : {1, 2}) {
+      HybridHplConfig cfg;
+      cfg.n = 84000 * p;
+      cfg.p = cfg.q = p;
+      cfg.cards = cards;
+      cfg.scheme = Lookahead::kNone;
+      const auto none = simulate_hybrid_hpl(cfg);
+      cfg.scheme = Lookahead::kBasic;
+      const auto basic = simulate_hybrid_hpl(cfg);
+      cfg.scheme = Lookahead::kPipelined;
+      const auto pipe = simulate_hybrid_hpl(cfg);
+      EXPECT_LT(none.gflops, basic.gflops) << cards << "c " << p << "x" << p;
+      EXPECT_LT(basic.gflops, pipe.gflops) << cards << "c " << p << "x" << p;
+    }
+  }
+}
+
+TEST(HybridHpl, EfficiencyGrowsWithProblemSize) {
+  HybridHplConfig cfg;
+  cfg.scheme = Lookahead::kPipelined;
+  cfg.host_mem_gib = 128;
+  double prev = 0;
+  for (std::size_t n : {48000u, 84000u, 120000u}) {
+    cfg.n = n;
+    const auto r = simulate_hybrid_hpl(cfg);
+    EXPECT_GT(r.efficiency, prev) << n;
+    prev = r.efficiency;
+  }
+}
+
+// Scheme x cards grid: every combination must produce a sane result.
+class HybridGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HybridGrid, SaneEfficiency) {
+  const auto [cards, p, scheme] = GetParam();
+  const auto r = run(60000 * p, p, p, cards, static_cast<Lookahead>(scheme));
+  EXPECT_GT(r.efficiency, 0.35);
+  EXPECT_LT(r.efficiency, 0.95);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HybridGrid,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace xphi::core

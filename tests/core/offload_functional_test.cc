@@ -1,0 +1,103 @@
+#include "core/offload_functional.h"
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm_ref.h"
+#include "util/rng.h"
+
+namespace xphi::core {
+namespace {
+
+using util::Matrix;
+
+void expect_offload_matches_ref(std::size_t m, std::size_t n, std::size_t k,
+                                const FunctionalOffloadConfig& cfg,
+                                FunctionalOffloadStats* stats_out = nullptr) {
+  Matrix<double> a(m, k), b(k, n), c(m, n), c_ref(m, n);
+  util::fill_hpl_matrix(a.view(), 1);
+  util::fill_hpl_matrix(b.view(), 2);
+  util::fill_hpl_matrix(c.view(), 3);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t cc = 0; cc < n; ++cc) c_ref(r, cc) = c(r, cc);
+  blas::gemm_ref<double>(-1.0, a.view(), b.view(), 1.0, c_ref.view());
+  const auto stats =
+      offload_gemm_functional(-1.0, a.view(), b.view(), c.view(), cfg);
+  EXPECT_LT(util::max_abs_diff<double>(c.view(), c_ref.view()), 1e-10);
+  EXPECT_EQ(stats.tiles_cards + stats.tiles_host, stats.tiles_total);
+  if (stats_out != nullptr) *stats_out = stats;
+}
+
+TEST(OffloadFunctional, SingleCardNoHost) {
+  FunctionalOffloadConfig cfg;
+  cfg.cards = 1;
+  cfg.host_steals = false;
+  FunctionalOffloadStats stats;
+  expect_offload_matches_ref(128, 128, 48, cfg, &stats);
+  EXPECT_EQ(stats.tiles_host, 0u);
+  EXPECT_EQ(stats.tiles_cards, stats.tiles_total);
+}
+
+TEST(OffloadFunctional, HostStealsFromTheBack) {
+  FunctionalOffloadConfig cfg;
+  cfg.cards = 1;
+  cfg.host_steals = true;
+  FunctionalOffloadStats stats;
+  expect_offload_matches_ref(192, 192, 32, cfg, &stats);
+  EXPECT_GT(stats.tiles_total, 0u);
+}
+
+TEST(OffloadFunctional, TwoCards) {
+  FunctionalOffloadConfig cfg;
+  cfg.cards = 2;
+  cfg.host_steals = false;
+  expect_offload_matches_ref(160, 160, 40, cfg);
+}
+
+TEST(OffloadFunctional, RaggedShapeWithMergedTiles) {
+  FunctionalOffloadConfig cfg;
+  cfg.mt = 50;
+  cfg.nt = 70;
+  cfg.cards = 1;
+  cfg.host_steals = true;
+  FunctionalOffloadStats stats;
+  expect_offload_matches_ref(173, 141, 29, cfg, &stats);
+  // 173/50 -> 3 row tiles (last merged), 141/70 -> 2 col tiles.
+  EXPECT_EQ(stats.tiles_total, 6u);
+}
+
+TEST(OffloadFunctional, TinyMatrixSingleTile) {
+  FunctionalOffloadConfig cfg;
+  cfg.mt = 64;
+  cfg.nt = 64;
+  FunctionalOffloadStats stats;
+  expect_offload_matches_ref(10, 12, 8, cfg, &stats);
+  EXPECT_EQ(stats.tiles_total, 1u);
+}
+
+TEST(OffloadFunctional, AlphaPlusOne) {
+  Matrix<double> a(96, 16), b(16, 96), c(96, 96), c_ref(96, 96);
+  util::fill_hpl_matrix(a.view(), 7);
+  util::fill_hpl_matrix(b.view(), 8);
+  c.fill(1.0);
+  c_ref.fill(1.0);
+  blas::gemm_ref<double>(2.0, a.view(), b.view(), 1.0, c_ref.view());
+  offload_gemm_functional(2.0, a.view(), b.view(), c.view(), {});
+  EXPECT_LT(util::max_abs_diff<double>(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(OffloadFunctional, RepeatedRunsDeterministicResult) {
+  Matrix<double> a(100, 20), b(20, 100), c1(100, 100), c2(100, 100);
+  util::fill_hpl_matrix(a.view(), 4);
+  util::fill_hpl_matrix(b.view(), 5);
+  c1.fill(0.0);
+  c2.fill(0.0);
+  FunctionalOffloadConfig cfg;
+  cfg.cards = 2;
+  cfg.host_steals = true;
+  offload_gemm_functional(1.0, a.view(), b.view(), c1.view(), cfg);
+  offload_gemm_functional(1.0, a.view(), b.view(), c2.view(), cfg);
+  EXPECT_EQ(util::max_abs_diff<double>(c1.view(), c2.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace xphi::core

@@ -1,0 +1,125 @@
+#include "core/tile_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace xphi::core {
+namespace {
+
+TEST(MergedSpans, ExactMultiple) {
+  const auto s = merged_spans(100, 25, true);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], (std::pair<std::size_t, std::size_t>{0, 25}));
+  EXPECT_EQ(s[3], (std::pair<std::size_t, std::size_t>{75, 25}));
+}
+
+TEST(MergedSpans, RemainderMergedIntoLast) {
+  // Paper: "we merge the last two tiles (one complete tile and one partial
+  // tile) ... and process them together".
+  const auto s = merged_spans(110, 25, true);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[3], (std::pair<std::size_t, std::size_t>{75, 35}));
+}
+
+TEST(MergedSpans, NoMergeKeepsPartial) {
+  const auto s = merged_spans(110, 25, false);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[4], (std::pair<std::size_t, std::size_t>{100, 10}));
+}
+
+TEST(MergedSpans, ExtentSmallerThanTile) {
+  const auto s = merged_spans(10, 25, true);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].second, 10u);
+}
+
+TEST(TileGrid, ColumnMajorOrder) {
+  TileGrid g(60, 40, 30, 20);
+  ASSERT_EQ(g.count(), 4u);
+  // C00, C10 (down first column), then C01, C11.
+  EXPECT_EQ(g.tile(0).r0, 0u);
+  EXPECT_EQ(g.tile(0).c0, 0u);
+  EXPECT_EQ(g.tile(1).r0, 30u);
+  EXPECT_EQ(g.tile(1).c0, 0u);
+  EXPECT_EQ(g.tile(2).r0, 0u);
+  EXPECT_EQ(g.tile(2).c0, 20u);
+}
+
+TEST(TileGrid, TilesPartitionTheMatrix) {
+  TileGrid g(107, 93, 30, 20);
+  std::vector<std::vector<int>> covered(107, std::vector<int>(93, 0));
+  for (std::size_t t = 0; t < g.count(); ++t) {
+    const Tile& tile = g.tile(t);
+    for (std::size_t r = 0; r < tile.rows; ++r)
+      for (std::size_t c = 0; c < tile.cols; ++c)
+        covered[tile.r0 + r][tile.c0 + c]++;
+  }
+  for (const auto& row : covered)
+    for (int v : row) EXPECT_EQ(v, 1);
+}
+
+TEST(TileGrid, TwoEndedStealingIsDisjointAndComplete) {
+  TileGrid g(120, 120, 30, 30);
+  std::set<std::size_t> front, back;
+  // Alternate front/back steals; union must be everything, intersection empty.
+  for (;;) {
+    auto f = g.steal_front();
+    if (!f) break;
+    front.insert(*f);
+    auto b = g.steal_back();
+    if (b) back.insert(*b);
+  }
+  EXPECT_EQ(front.size() + back.size(), g.count());
+  for (std::size_t t : front) EXPECT_EQ(back.count(t), 0u);
+}
+
+TEST(TileGrid, FrontStartsAtUpperLeftBackAtLowerRight) {
+  TileGrid g(60, 60, 30, 30);
+  auto f = g.steal_front();
+  auto b = g.steal_back();
+  ASSERT_TRUE(f && b);
+  EXPECT_EQ(g.tile(*f).r0, 0u);
+  EXPECT_EQ(g.tile(*f).c0, 0u);
+  EXPECT_EQ(g.tile(*b).r0, 30u);
+  EXPECT_EQ(g.tile(*b).c0, 30u);
+}
+
+TEST(TileGrid, ConcurrentStealingNoDuplicates) {
+  TileGrid g(300, 300, 30, 30);  // 100 tiles
+  std::vector<std::vector<std::size_t>> taken(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (;;) {
+        auto idx = (t % 2 == 0) ? g.steal_front() : g.steal_back();
+        if (!idx) return;
+        taken[t].push_back(*idx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::size_t> all;
+  std::size_t total = 0;
+  for (const auto& v : taken) {
+    total += v.size();
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, g.count());
+  EXPECT_EQ(all.size(), g.count());
+}
+
+TEST(TileGrid, RemainingCountsDown) {
+  TileGrid g(60, 30, 30, 30);
+  EXPECT_EQ(g.remaining(), 2u);
+  g.steal_front();
+  EXPECT_EQ(g.remaining(), 1u);
+  g.steal_back();
+  EXPECT_EQ(g.remaining(), 0u);
+  EXPECT_FALSE(g.steal_front().has_value());
+}
+
+}  // namespace
+}  // namespace xphi::core

@@ -1,0 +1,87 @@
+#include "hpl/config.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::hpl {
+namespace {
+
+TEST(RunConfig, ParsesFullFile) {
+  const auto res = parse_run_config(
+      "# a comment\n"
+      "Ns: 84000 168000\n"
+      "NBs: 1200 2400\n"
+      "grids: 1x1 2x2 10x10\n"
+      "cards: 0 1 2\n"
+      "scheme: basic\n"
+      "memory: 128\n");
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto& c = res.config;
+  EXPECT_EQ(c.ns, (std::vector<std::size_t>{84000, 168000}));
+  EXPECT_EQ(c.nbs, (std::vector<std::size_t>{1200, 2400}));
+  ASSERT_EQ(c.grids.size(), 3u);
+  EXPECT_EQ(c.grids[2], (std::pair<int, int>{10, 10}));
+  EXPECT_EQ(c.cards, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.scheme, core::Lookahead::kBasic);
+  EXPECT_EQ(c.memory_gib, 128u);
+  EXPECT_EQ(c.combinations(), 2u * 2 * 3 * 3);
+}
+
+TEST(RunConfig, DefaultsWhenEmpty) {
+  const auto res = parse_run_config("");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.config.ns, (std::vector<std::size_t>{84000}));
+  EXPECT_EQ(res.config.scheme, core::Lookahead::kPipelined);
+}
+
+TEST(RunConfig, CommentsAndBlankLines) {
+  const auto res = parse_run_config(
+      "\n"
+      "   # only a comment\n"
+      "Ns: 1000   # trailing comment\n");
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.config.ns, (std::vector<std::size_t>{1000}));
+}
+
+TEST(RunConfig, RejectsUnknownKey) {
+  const auto res = parse_run_config("Nz: 100\n");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("unknown key"), std::string::npos);
+}
+
+TEST(RunConfig, RejectsBadGrid) {
+  EXPECT_FALSE(parse_run_config("grids: 2by2\n").ok);
+  EXPECT_FALSE(parse_run_config("grids: 0x2\n").ok);
+  EXPECT_FALSE(parse_run_config("grids: 2x\n").ok);
+}
+
+TEST(RunConfig, RejectsBadNumbers) {
+  EXPECT_FALSE(parse_run_config("Ns: twelve\n").ok);
+  EXPECT_FALSE(parse_run_config("Ns: 0\n").ok);
+  EXPECT_FALSE(parse_run_config("NBs: -5\n").ok);
+  EXPECT_FALSE(parse_run_config("cards: 99\n").ok);
+}
+
+TEST(RunConfig, RejectsBadScheme) {
+  const auto res = parse_run_config("scheme: turbo\n");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("bad scheme"), std::string::npos);
+}
+
+TEST(RunConfig, RejectsMissingColon) {
+  EXPECT_FALSE(parse_run_config("Ns 1000\n").ok);
+}
+
+TEST(RunConfig, LoadMissingFileFails) {
+  const auto res = load_run_config("/nonexistent/path/HPL.dat");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("cannot open"), std::string::npos);
+}
+
+TEST(RunConfig, ErrorsCarryLineNumbers) {
+  const auto res = parse_run_config("Ns: 100\nbogus: 1\n");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xphi::hpl

@@ -1,0 +1,175 @@
+#include "hpl/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "blas/getrf.h"
+#include "blas/residual.h"
+#include "util/rng.h"
+
+namespace xphi::hpl {
+namespace {
+
+TEST(DistributedHpl, SingleRankMatchesSequentialOracle) {
+  const std::size_t n = 48, nb = 8;
+  const auto res = run_distributed_hpl(n, nb, Grid{1, 1}, 11);
+  ASSERT_TRUE(res.ok);
+
+  util::Matrix<double> a(n, n);
+  util::fill_hpl_matrix(a.view(), 11);
+  std::vector<std::size_t> ipiv(n);
+  ASSERT_TRUE(blas::getrf_blocked<double>(a.view(), ipiv, nb));
+  EXPECT_EQ(res.ipiv, ipiv);
+  EXPECT_LT(util::max_abs_diff<double>(res.factored.view(), a.view()), 1e-10);
+}
+
+TEST(DistributedHpl, TwoByTwoGridMatchesOracle) {
+  const std::size_t n = 64, nb = 8;
+  const auto res = run_distributed_hpl(n, nb, Grid{2, 2}, 5);
+  ASSERT_TRUE(res.ok);
+
+  util::Matrix<double> a(n, n);
+  util::fill_hpl_matrix(a.view(), 5);
+  std::vector<std::size_t> ipiv(n);
+  ASSERT_TRUE(blas::getrf_blocked<double>(a.view(), ipiv, nb));
+  EXPECT_EQ(res.ipiv, ipiv);
+  EXPECT_LT(util::max_abs_diff<double>(res.factored.view(), a.view()), 1e-9);
+}
+
+TEST(DistributedHpl, ResidualUnderThreshold2x2) {
+  const auto res = run_distributed_hpl(96, 12, Grid{2, 2}, 7);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.residual, blas::kHplResidualThreshold);
+}
+
+TEST(DistributedHpl, RectangularGrids) {
+  // 1xQ (row of processes) and Px1 (column) exercise the degenerate
+  // broadcast and swap paths.
+  EXPECT_TRUE(run_distributed_hpl(60, 10, Grid{1, 3}, 3).ok);
+  EXPECT_TRUE(run_distributed_hpl(60, 10, Grid{3, 1}, 3).ok);
+}
+
+TEST(DistributedHpl, RaggedLastBlock) {
+  // n not a multiple of nb: the final ragged panel crosses every code path.
+  const auto res = run_distributed_hpl(70, 12, Grid{2, 2}, 9);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(DistributedHpl, UnbalancedBlockCounts) {
+  // 5 blocks over 2x3: some ranks own more blocks than others.
+  const auto res = run_distributed_hpl(80, 16, Grid{2, 3}, 13);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(DistributedHpl, MatchesOracleOnBiggerGrid) {
+  const std::size_t n = 90, nb = 10;
+  const auto res = run_distributed_hpl(n, nb, Grid{3, 2}, 21);
+  ASSERT_TRUE(res.ok);
+  util::Matrix<double> a(n, n);
+  util::fill_hpl_matrix(a.view(), 21);
+  std::vector<std::size_t> ipiv(n);
+  ASSERT_TRUE(blas::getrf_blocked<double>(a.view(), ipiv, nb));
+  EXPECT_EQ(res.ipiv, ipiv);
+  EXPECT_LT(util::max_abs_diff<double>(res.factored.view(), a.view()), 1e-9);
+}
+
+TEST(DistributedHpl, DistributedSolveAgreesWithGatheredSolve) {
+  for (auto grid : {Grid{1, 1}, Grid{2, 2}, Grid{2, 3}, Grid{3, 1}}) {
+    const auto res = run_distributed_hpl(84, 12, grid, 33);
+    ASSERT_TRUE(res.ok);
+    // The block forward/back substitution over the distributed factors must
+    // reproduce the gathered solve to roundoff.
+    EXPECT_LT(res.solve_agreement, 1e-10)
+        << grid.p << "x" << grid.q;
+    EXPECT_EQ(res.x.size(), 84u);
+  }
+}
+
+TEST(DistributedHpl, DistributedSolutionSolvesTheSystem) {
+  const std::size_t n = 72;
+  const auto res = run_distributed_hpl(n, 8, Grid{2, 2}, 55);
+  ASSERT_TRUE(res.ok);
+  // Check Ax = b directly with the distributed x.
+  util::Matrix<double> a(n, n);
+  util::fill_hpl_matrix(a.view(), 55);
+  std::vector<double> b(n);
+  util::Rng rng(55 ^ 0xb0b);
+  for (auto& v : b) v = rng.next_centered();
+  const double resid = blas::hpl_residual<double>(a.view(), res.x, b);
+  EXPECT_LT(resid, blas::kHplResidualThreshold);
+}
+
+TEST(DistributedHpl, HybridOffloadEngineMatchesPlainUpdate) {
+  // Running every rank's trailing update through the functional offload
+  // engine (queues + card threads + stealing) must not change the numerics.
+  DistributedHplOptions opt;
+  opt.use_offload_engine = true;
+  opt.offload.mt = 24;
+  opt.offload.nt = 24;
+  opt.offload.host_steals = true;
+  const auto hybrid = run_distributed_hpl(80, 16, Grid{2, 2}, 61, opt);
+  const auto plain = run_distributed_hpl(80, 16, Grid{2, 2}, 61);
+  ASSERT_TRUE(hybrid.ok);
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(hybrid.ipiv, plain.ipiv);
+  EXPECT_LT(util::max_abs_diff<double>(hybrid.factored.view(),
+                                       plain.factored.view()),
+            1e-11);
+}
+
+TEST(DistributedHpl, HybridOffloadTwoCardsPerRank) {
+  DistributedHplOptions opt;
+  opt.use_offload_engine = true;
+  opt.offload.cards = 2;
+  opt.offload.mt = 20;
+  opt.offload.nt = 20;
+  const auto res = run_distributed_hpl(72, 12, Grid{1, 2}, 77, opt);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.solve_agreement, 1e-10);
+}
+
+TEST(DistributedHpl, GatherScatterSwapMatchesPairwise) {
+  // HPL's "long" swap and the pairwise exchange are different communication
+  // patterns for the same permutation: identical factors required.
+  DistributedHplOptions gather;
+  gather.swap_algorithm = SwapAlgorithm::kGatherScatter;
+  for (auto grid : {Grid{2, 1}, Grid{2, 2}, Grid{3, 2}}) {
+    const auto a = run_distributed_hpl(72, 12, grid, 91, gather);
+    const auto b = run_distributed_hpl(72, 12, grid, 91);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.ipiv, b.ipiv);
+    EXPECT_EQ(util::max_abs_diff<double>(a.factored.view(), b.factored.view()),
+              0.0)
+        << grid.p << "x" << grid.q;
+  }
+}
+
+TEST(DistributedHpl, GatherScatterSwapSolves) {
+  DistributedHplOptions opt;
+  opt.swap_algorithm = SwapAlgorithm::kGatherScatter;
+  const auto res = run_distributed_hpl(90, 10, Grid{3, 1}, 17, opt);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.solve_agreement, 1e-10);
+}
+
+// Property sweep over grid shapes and block sizes.
+class DistributedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributedSweep, ResidualPasses) {
+  const auto [p, q, nb] = GetParam();
+  const auto res = run_distributed_hpl(72, nb, Grid{p, q}, 100 + p * 10 + q);
+  EXPECT_TRUE(res.ok) << "p=" << p << " q=" << q << " nb=" << nb
+                      << " residual=" << res.residual;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistributedSweep,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(1, 2, 3),
+                                            ::testing::Values(6, 8, 24)));
+
+}  // namespace
+}  // namespace xphi::hpl

@@ -1,0 +1,79 @@
+#include "lu/functional.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/getrf.h"
+#include "blas/residual.h"
+#include "util/rng.h"
+
+namespace xphi::lu {
+namespace {
+
+TEST(DagLuFactor, MatchesSequentialBlockedFactorization) {
+  const std::size_t n = 96, nb = 24;
+  util::Matrix<double> a1(n, n), a2(n, n);
+  util::fill_hpl_matrix(a1.view(), 9);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a2(r, c) = a1(r, c);
+  std::vector<std::size_t> p1(n), p2(n);
+  ASSERT_TRUE(blas::getrf_blocked<double>(a1.view(), p1, nb));
+  ASSERT_TRUE(dag_lu_factor(a2.view(), p2, nb, /*workers=*/1));
+  EXPECT_EQ(p1, p2);
+  EXPECT_LT(util::max_abs_diff<double>(a1.view(), a2.view()), 1e-10);
+}
+
+TEST(DagLuFactor, MultiWorkerMatchesSingleWorker) {
+  const std::size_t n = 120, nb = 30;
+  util::Matrix<double> a1(n, n), a2(n, n);
+  util::fill_hpl_matrix(a1.view(), 17);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a2(r, c) = a1(r, c);
+  std::vector<std::size_t> p1(n), p2(n);
+  ASSERT_TRUE(dag_lu_factor(a1.view(), p1, nb, 1));
+  ASSERT_TRUE(dag_lu_factor(a2.view(), p2, nb, 4));
+  EXPECT_EQ(p1, p2);
+  // Dynamic scheduling changes execution order, not results.
+  EXPECT_LT(util::max_abs_diff<double>(a1.view(), a2.view()), 1e-10);
+}
+
+TEST(FunctionalDagLu, PassesHplResidualSingleWorker) {
+  const auto res = run_functional_dag_lu(100, 25, 1);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.residual, blas::kHplResidualThreshold);
+}
+
+TEST(FunctionalDagLu, PassesHplResidualFourWorkers) {
+  const auto res = run_functional_dag_lu(150, 32, 4);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.residual, blas::kHplResidualThreshold);
+}
+
+TEST(FunctionalDagLu, RaggedPanelWidth) {
+  // n not a multiple of nb exercises the edge panels.
+  const auto res = run_functional_dag_lu(130, 28, 3);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(FunctionalDagLu, SinglePanelProblem) {
+  const auto res = run_functional_dag_lu(20, 64, 2);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(FunctionalDagLu, RepeatedRunsAreDeterministic) {
+  const auto r1 = run_functional_dag_lu(80, 16, 3, /*seed=*/7);
+  const auto r2 = run_functional_dag_lu(80, 16, 3, /*seed=*/7);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_DOUBLE_EQ(r1.residual, r2.residual);
+}
+
+// Stress the scheduler protocol with many small panels and several threads —
+// on a race this either deadlocks (test timeout) or corrupts the residual.
+TEST(FunctionalDagLu, ManyPanelsStress) {
+  const auto res = run_functional_dag_lu(144, 8, 4);
+  EXPECT_TRUE(res.ok);
+}
+
+}  // namespace
+}  // namespace xphi::lu

@@ -1,0 +1,82 @@
+#include "lu/native_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "lu/sim_scheduler.h"
+
+namespace xphi::lu {
+namespace {
+
+sim::KncLuModel model() { return sim::KncLuModel{}; }
+net::CostModel fabric() { return net::CostModel{}; }
+
+TEST(NativeCluster, SingleNodeConsistentWithSectionIvDes) {
+  // The cluster projection at 1 node must agree with the Figure 6 dynamic
+  // scheduler at the same size (it is calibrated to).
+  NativeClusterConfig cfg;
+  cfg.n = 30000;
+  const auto cluster = simulate_native_cluster(cfg, model(), fabric());
+  NativeLuConfig des_cfg;
+  des_cfg.n = 30000;
+  const auto m = model();
+  const auto des = simulate_dynamic_lu(
+      des_cfg, m, model_tuned_plan(m, des_cfg.n, des_cfg.nb, 60));
+  EXPECT_NEAR(cluster.efficiency, des.efficiency, 0.04);
+}
+
+TEST(NativeCluster, MemoryCapAtEightGiB) {
+  NativeClusterConfig cfg;
+  cfg.n = 40000;  // 12.8 GB > 8 GB GDDR
+  EXPECT_FALSE(simulate_native_cluster(cfg, model(), fabric()).fits_memory);
+  cfg.n = 28000;
+  EXPECT_TRUE(simulate_native_cluster(cfg, model(), fabric()).fits_memory);
+}
+
+TEST(NativeCluster, WeakScalingLosesAFewPoints) {
+  NativeClusterConfig one;
+  one.n = 28000;
+  NativeClusterConfig hundred;
+  hundred.n = 280000;
+  hundred.p = hundred.q = 10;
+  const auto r1 = simulate_native_cluster(one, model(), fabric());
+  const auto r100 = simulate_native_cluster(hundred, model(), fabric());
+  EXPECT_LT(r100.efficiency, r1.efficiency);
+  EXPECT_GT(r100.efficiency, r1.efficiency - 0.08);
+  EXPECT_GT(r100.comm_fraction, r1.comm_fraction);
+}
+
+TEST(NativeCluster, ThroughputScalesWithNodes) {
+  NativeClusterConfig a;
+  a.n = 56000;
+  a.p = a.q = 2;
+  NativeClusterConfig b;
+  b.n = 280000;
+  b.p = b.q = 10;
+  const auto ra = simulate_native_cluster(a, model(), fabric());
+  const auto rb = simulate_native_cluster(b, model(), fabric());
+  EXPECT_NEAR(rb.gflops / ra.gflops, 25.0, 3.0);  // 100 vs 4 nodes
+}
+
+TEST(NativeCluster, SlowNicLatencyHurtsOnlySlightly) {
+  NativeClusterConfig cfg;
+  cfg.n = 112000;
+  cfg.p = cfg.q = 4;
+  const auto base = simulate_native_cluster(cfg, model(), fabric());
+  cfg.net_latency_factor = 20.0;
+  const auto slow = simulate_native_cluster(cfg, model(), fabric());
+  EXPECT_LT(slow.gflops, base.gflops);
+  EXPECT_GT(slow.gflops, base.gflops * 0.95);  // latency, not bandwidth bound
+}
+
+TEST(Machine, PowerSpecsPresent) {
+  EXPECT_GT(sim::MachineSpec::knights_corner().tdp_watts, 200.0);
+  EXPECT_GT(sim::MachineSpec::sandy_bridge_ep().tdp_watts, 200.0);
+  // The paper's energy argument: comparable power, ~3x the DP flops.
+  const auto knc = sim::MachineSpec::knights_corner();
+  const auto snb = sim::MachineSpec::sandy_bridge_ep();
+  EXPECT_NEAR(knc.tdp_watts / snb.tdp_watts, 1.0, 0.2);
+  EXPECT_GT(knc.peak_gflops() / snb.peak_gflops(), 3.0);
+}
+
+}  // namespace
+}  // namespace xphi::lu

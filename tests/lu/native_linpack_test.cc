@@ -1,0 +1,34 @@
+#include "lu/native_linpack.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::lu {
+namespace {
+
+TEST(NativeLinpack, EndToEndDynamic) {
+  NativeLinpackOptions opt;
+  opt.functional_nb = 32;
+  opt.workers = 3;
+  const auto report = run_native_linpack(160, 30000, opt);
+  EXPECT_TRUE(report.functional.ok);
+  EXPECT_NEAR(report.projected.efficiency, 0.79, 0.03);
+}
+
+TEST(NativeLinpack, StaticSchedulerSelectable) {
+  NativeLinpackOptions opt;
+  opt.scheduler = Scheduler::kStaticLookahead;
+  opt.nb = 240;
+  const auto report = run_native_linpack(96, 30000, opt);
+  EXPECT_TRUE(report.functional.ok);
+  EXPECT_GT(report.projected.gflops, 700.0);
+}
+
+TEST(NativeLinpack, TimelineOnRequest) {
+  NativeLinpackOptions opt;
+  opt.capture_timeline = true;
+  const auto report = run_native_linpack(64, 5000, opt);
+  EXPECT_FALSE(report.projected.timeline.spans().empty());
+}
+
+}  // namespace
+}  // namespace xphi::lu

@@ -1,0 +1,127 @@
+#include "lu/sim_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/timeline.h"
+
+namespace xphi::lu {
+namespace {
+
+sim::KncLuModel model() { return sim::KncLuModel{}; }
+
+NativeLuConfig cfg(std::size_t n, bool timeline = false) {
+  NativeLuConfig c;
+  c.n = n;
+  c.nb = 240;
+  c.capture_timeline = timeline;
+  return c;
+}
+
+ThreadPlan plan_for(std::size_t n, std::size_t nb = 240) {
+  return model_tuned_plan(sim::KncLuModel{}, n, nb, 60);
+}
+
+// Figure 6 anchor: at N=30K both schedulers reach ~832 GFLOPS (~79%
+// efficiency). Calibrated model: accept +/- 3% absolute efficiency.
+TEST(SimScheduler, DynamicReaches79PercentAt30K) {
+  const auto m = model();
+  const auto r = simulate_dynamic_lu(cfg(30000), m, plan_for(30000));
+  EXPECT_NEAR(r.efficiency, 0.79, 0.03);
+  EXPECT_NEAR(r.gflops, 832.0, 35.0);
+}
+
+TEST(SimScheduler, StaticReaches79PercentAt30K) {
+  const auto m = model();
+  const auto r = simulate_static_lookahead_lu(cfg(30000), m);
+  EXPECT_NEAR(r.efficiency, 0.79, 0.03);
+}
+
+// Figure 6 shape: dynamic scheduling outperforms static look-ahead below 8K
+// and the two converge at large N.
+TEST(SimScheduler, DynamicBeatsStaticBelow8K) {
+  const auto m = model();
+  for (std::size_t n : {2000u, 5000u, 8000u}) {
+    const auto dyn = simulate_dynamic_lu(cfg(n), m, plan_for(n));
+    const auto sta = simulate_static_lookahead_lu(cfg(n), m);
+    EXPECT_GT(dyn.gflops, sta.gflops) << "n=" << n;
+  }
+}
+
+TEST(SimScheduler, SchemesConvergeAtLargeN) {
+  const auto m = model();
+  const auto dyn = simulate_dynamic_lu(cfg(30000), m, plan_for(30000));
+  const auto sta = simulate_static_lookahead_lu(cfg(30000), m);
+  EXPECT_NEAR(dyn.gflops / sta.gflops, 1.0, 0.05);
+}
+
+TEST(SimScheduler, PerformanceIncreasesWithN) {
+  const auto m = model();
+  double prev = 0;
+  for (std::size_t n : {1000u, 5000u, 10000u, 20000u, 30000u}) {
+    const auto r = simulate_dynamic_lu(cfg(n), m, plan_for(n));
+    EXPECT_GT(r.gflops, prev) << "n=" << n;
+    prev = r.gflops;
+  }
+}
+
+TEST(SimScheduler, NativeNeverExceedsDgemmEnvelope) {
+  // Linpack efficiency stays below the DGEMM kernel efficiency (Figure 6:
+  // the Linpack curves sit under the DGEMM curve).
+  const auto m = model();
+  const auto r = simulate_dynamic_lu(cfg(30000), m, plan_for(30000));
+  const double dgemm_eff = m.gemm_model().gemm_efficiency(
+      30000, 30000, 300, 300, false, sim::Precision::kDouble, 60);
+  EXPECT_LT(r.efficiency, dgemm_eff);
+}
+
+// Figure 7: for the 5K problem the static schedule spends visibly more time
+// in panel factorization + barriers than the dynamic one.
+TEST(SimScheduler, StaticExposesMoreBarrierAndPanelAt5K) {
+  const auto m = model();
+  const auto dyn = simulate_dynamic_lu(cfg(5000, true), m, plan_for(5000));
+  const auto sta = simulate_static_lookahead_lu(cfg(5000, true), m);
+  EXPECT_GT(sta.barrier_seconds, dyn.barrier_seconds);
+  EXPECT_LT(dyn.factor_seconds, sta.factor_seconds);
+}
+
+TEST(SimScheduler, TimelineCapturedOnRequest) {
+  const auto m = model();
+  const auto r = simulate_dynamic_lu(cfg(3000, true), m, plan_for(3000));
+  EXPECT_FALSE(r.timeline.spans().empty());
+  EXPECT_GT(r.timeline.lanes(), 1u);
+  // Timeline ends when the factorization does (barring the final barrier).
+  EXPECT_LE(r.timeline.end_time(), r.factor_seconds + 1e-9);
+  const auto busy = r.timeline.busy_by_kind();
+  EXPECT_GT(busy.at(trace::SpanKind::kGemm), 0.0);
+  EXPECT_GT(busy.at(trace::SpanKind::kPanelFactor), 0.0);
+}
+
+TEST(SimScheduler, MasterOnlyDagAccessBeatsAllThreadContention) {
+  // The paper's first many-core extension: only group masters enter the DAG
+  // critical section. Modeling every thread contending must cost time.
+  auto m = model();
+  auto c = cfg(10000);
+  const auto fast = simulate_dynamic_lu(c, m, plan_for(10000));
+  c.master_only_dag_access = false;
+  const auto slow = simulate_dynamic_lu(c, m, plan_for(10000));
+  EXPECT_LT(fast.factor_seconds, slow.factor_seconds);
+}
+
+TEST(SimScheduler, SuperStagesBeatFixedGroupingAtModerateN) {
+  // The paper's second extension: regrouping hides late-stage panels.
+  const auto m = model();
+  const auto c = cfg(10000);
+  const auto geo = simulate_dynamic_lu(c, m, plan_for(10000));
+  const auto fixed1 =
+      simulate_dynamic_lu(c, m, ThreadPlan::fixed(60, 1, 42));
+  EXPECT_LT(geo.factor_seconds, fixed1.factor_seconds);
+}
+
+TEST(SimScheduler, SolveTimeSmallFractionOfTotal) {
+  const auto m = model();
+  const auto r = simulate_dynamic_lu(cfg(20000), m, plan_for(20000));
+  EXPECT_LT(r.solve_seconds / r.seconds, 0.05);
+}
+
+}  // namespace
+}  // namespace xphi::lu

@@ -1,0 +1,60 @@
+#include "lu/thread_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::lu {
+namespace {
+
+TEST(ThreadPlan, FixedPlanIsUniform) {
+  auto plan = ThreadPlan::fixed(60, 4, 100);
+  EXPECT_EQ(plan.group_cores_at(0), 4);
+  EXPECT_EQ(plan.group_cores_at(99), 4);
+  EXPECT_EQ(plan.groups_at(0), 15);
+}
+
+TEST(ThreadPlan, GeometricStartsWithSingleCoreGroups) {
+  auto plan = ThreadPlan::geometric(60, 125);
+  EXPECT_EQ(plan.group_cores_at(0), 1);
+  EXPECT_EQ(plan.groups_at(0), 60);
+}
+
+TEST(ThreadPlan, GeometricGrowsGroupsMonotonically) {
+  auto plan = ThreadPlan::geometric(60, 125);
+  int prev = 0;
+  for (std::size_t s = 0; s < 125; ++s) {
+    const int g = plan.group_cores_at(s);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  EXPECT_GT(plan.group_cores_at(124), 1);
+}
+
+TEST(ThreadPlan, GeometricBoundariesAtHalvingPoints) {
+  auto plan = ThreadPlan::geometric(60, 128, /*max_group_cores=*/8);
+  // With half the panels left (stage 64) groups should be 2 cores wide.
+  EXPECT_EQ(plan.group_cores_at(63), 1);
+  EXPECT_EQ(plan.group_cores_at(64), 2);
+  EXPECT_EQ(plan.group_cores_at(96), 4);
+  EXPECT_EQ(plan.group_cores_at(112), 8);
+}
+
+TEST(ThreadPlan, GroupCountAtLeastOne) {
+  auto plan = ThreadPlan::geometric(4, 100, /*max_group_cores=*/16);
+  for (std::size_t s = 0; s < 100; ++s) EXPECT_GE(plan.groups_at(s), 1);
+}
+
+TEST(ThreadPlan, SuperStageIndexMatchesBoundaries) {
+  auto plan = ThreadPlan::geometric(60, 128, 4);
+  EXPECT_EQ(plan.super_stage_index(0), 0u);
+  EXPECT_EQ(plan.super_stage_index(64), 1u);
+  EXPECT_EQ(plan.super_stage_index(127), 2u);
+}
+
+TEST(ThreadPlan, TinyMatrixSinglePlanEntry) {
+  auto plan = ThreadPlan::geometric(60, 2);
+  EXPECT_GE(plan.super_stages().size(), 1u);
+  EXPECT_EQ(plan.super_stages().front().first_stage, 0u);
+}
+
+}  // namespace
+}  // namespace xphi::lu

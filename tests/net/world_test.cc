@@ -1,0 +1,154 @@
+#include "net/world.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace xphi::net {
+namespace {
+
+TEST(World, PointToPointDelivers) {
+  World w(2);
+  double got = 0;
+  w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, {1.0, 2.0, 3.0});
+    } else {
+      const auto msg = c.recv(0, 7);
+      got = std::accumulate(msg.begin(), msg.end(), 0.0);
+    }
+  });
+  EXPECT_EQ(got, 6.0);
+}
+
+TEST(World, TagMatchingSeparatesStreams) {
+  World w(2);
+  Payload a, b;
+  w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 2, {2.0});
+      c.send(1, 1, {1.0});
+    } else {
+      a = c.recv(0, 1);  // receives tag 1 even though tag 2 arrived first
+      b = c.recv(0, 2);
+    }
+  });
+  EXPECT_EQ(a[0], 1.0);
+  EXPECT_EQ(b[0], 2.0);
+}
+
+TEST(World, FifoWithinSameSrcTag) {
+  World w(2);
+  std::vector<double> order;
+  w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 5; ++i) c.send(1, 0, {static_cast<double>(i)});
+    } else {
+      for (int i = 0; i < 5; ++i) order.push_back(c.recv(0, 0)[0]);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<double>{0, 1, 2, 3, 4}));
+}
+
+TEST(World, PairwiseExchangeNoDeadlock) {
+  World w(2);
+  double sums[2] = {0, 0};
+  w.run([&](Comm& c) {
+    const int partner = 1 - c.rank();
+    c.send(partner, 0, {static_cast<double>(c.rank() + 1)});
+    sums[c.rank()] = c.recv(partner, 0)[0];
+  });
+  EXPECT_EQ(sums[0], 2.0);
+  EXPECT_EQ(sums[1], 1.0);
+}
+
+TEST(World, BroadcastFromRankZero) {
+  for (int ranks : {2, 3, 4, 5, 7}) {
+    World w(ranks);
+    std::vector<double> got(ranks, 0);
+    std::vector<int> group(ranks);
+    for (int i = 0; i < ranks; ++i) group[i] = i;
+    w.run([&](Comm& c) {
+      Payload data;
+      if (c.rank() == 0) data = {42.0, 43.0};
+      data = c.bcast(0, group, std::move(data), 5);
+      got[c.rank()] = data[0] + data[1];
+    });
+    for (int r = 0; r < ranks; ++r) EXPECT_EQ(got[r], 85.0) << ranks << " ranks";
+  }
+}
+
+TEST(World, BroadcastFromNonzeroRoot) {
+  World w(4);
+  std::vector<int> group = {0, 1, 2, 3};
+  std::vector<double> got(4, 0);
+  w.run([&](Comm& c) {
+    Payload data;
+    if (c.rank() == 2) data = {9.0};
+    data = c.bcast(2, group, std::move(data), 3);
+    got[c.rank()] = data[0];
+  });
+  for (double v : got) EXPECT_EQ(v, 9.0);
+}
+
+TEST(World, BroadcastWithinSubgroup) {
+  World w(4);
+  // Broadcast only among ranks {1, 3}; others must stay untouched.
+  std::vector<double> got(4, -1);
+  w.run([&](Comm& c) {
+    if (c.rank() == 1 || c.rank() == 3) {
+      Payload data;
+      if (c.rank() == 3) data = {5.0};
+      data = c.bcast(3, {1, 3}, std::move(data), 9);
+      got[c.rank()] = data[0];
+    }
+  });
+  EXPECT_EQ(got[1], 5.0);
+  EXPECT_EQ(got[3], 5.0);
+  EXPECT_EQ(got[0], -1.0);
+  EXPECT_EQ(got[2], -1.0);
+}
+
+TEST(World, BarrierSynchronizes) {
+  World w(3);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  w.run([&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    if (before.load() != 3) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(World, EightRankAllToAll) {
+  World w(8);
+  std::vector<double> sums(8, 0);
+  w.run([&](Comm& c) {
+    for (int dst = 0; dst < 8; ++dst)
+      if (dst != c.rank())
+        c.send(dst, 0, {static_cast<double>(c.rank())});
+    double s = 0;
+    for (int src = 0; src < 8; ++src)
+      if (src != c.rank()) s += c.recv(src, 0)[0];
+    sums[c.rank()] = s;
+  });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(sums[r], 28.0 - r);
+}
+
+TEST(World, SingleRankWorld) {
+  World w(1);
+  int visits = 0;
+  w.run([&](Comm& c) {
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    auto d = c.bcast(0, {0}, {1.5}, 0);
+    EXPECT_EQ(d[0], 1.5);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+}  // namespace
+}  // namespace xphi::net

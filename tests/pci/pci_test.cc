@@ -1,0 +1,91 @@
+#include "pci/link.h"
+#include "pci/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace xphi::pci {
+namespace {
+
+TEST(PcieLink, TransferTimeIsLatencyPlusBandwidth) {
+  PcieLink link;
+  const double t = link.transfer_seconds(4e9, /*contended=*/true);
+  EXPECT_NEAR(t, 15e-6 + 1.0, 1e-3);  // 4 GB at 4 GB/s
+}
+
+TEST(PcieLink, UncontendedIsFaster) {
+  PcieLink link;
+  EXPECT_LT(link.transfer_seconds(1e9, false), link.transfer_seconds(1e9, true));
+}
+
+TEST(PcieLink, MinKtMatchesPaperDerivation) {
+  // Paper: BW ~ 4 GB/s, P ~ 950 GFLOPS => Kt should be at least 950.
+  PcieLink link;
+  EXPECT_NEAR(link.min_kt(950.0), 950.0, 1e-9);
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.enqueue(1);
+  q.enqueue(2);
+  q.enqueue(3);
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_EQ(q.dequeue(), 3);
+}
+
+TEST(BlockingQueue, TryDequeueEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_dequeue().has_value());
+  q.enqueue(5);
+  EXPECT_EQ(q.try_dequeue(), 5);
+}
+
+TEST(BlockingQueue, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.enqueue(1);
+  q.close();
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_FALSE(q.enqueue(2));
+}
+
+TEST(BlockingQueue, ProducerConsumerAcrossThreads) {
+  BlockingQueue<int> q(4);  // small capacity forces blocking
+  constexpr int kItems = 1000;
+  long long sum = 0;
+  std::thread consumer([&] {
+    while (auto v = q.dequeue()) sum += *v;
+  });
+  for (int i = 1; i <= kItems; ++i) q.enqueue(i);
+  q.close();
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(BlockingQueue, MultipleConsumersConsumeAll) {
+  BlockingQueue<int> q(8);
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i)
+    consumers.emplace_back([&] {
+      while (q.dequeue()) count.fetch_add(1);
+    });
+  for (int i = 0; i < 500; ++i) q.enqueue(i);
+  q.close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(BlockingQueue, MoveOnlyPayload) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.enqueue(std::make_unique<int>(42));
+  auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+}  // namespace
+}  // namespace xphi::pci

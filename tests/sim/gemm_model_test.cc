@@ -1,0 +1,221 @@
+#include "sim/gemm_model.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace xphi::sim {
+namespace {
+
+class KncModelTest : public ::testing::Test {
+ protected:
+  KncGemmModel model_;
+  const int cores_ = MachineSpec::knights_corner().compute_cores();
+};
+
+// Table II anchor: DGEMM reaches 89.4% at k=300 for M=N=28000 (packing
+// included). Tolerance 1% absolute — the model is calibrated, not fitted
+// point-by-point.
+TEST_F(KncModelTest, TableIIDgemmPeakAtK300) {
+  const double eff = model_.gemm_efficiency(28000, 28000, 300, 300,
+                                            /*include_packing=*/true,
+                                            Precision::kDouble, cores_);
+  EXPECT_NEAR(eff, 0.894, 0.010);
+}
+
+// Table II anchor: SGEMM reaches 90.8% at k=400.
+TEST_F(KncModelTest, TableIISgemmPeakAtK400) {
+  const double eff = model_.gemm_efficiency(28000, 28000, 400, 400, true,
+                                            Precision::kSingle, cores_);
+  EXPECT_NEAR(eff, 0.908, 0.010);
+}
+
+// Table II shape: DGEMM efficiency rises with k up to 300 then dips.
+TEST_F(KncModelTest, DgemmEfficiencyPeaksNearK300) {
+  auto eff = [&](std::size_t k) {
+    return model_.gemm_efficiency(28000, 28000, k, k, true, Precision::kDouble,
+                                  cores_);
+  };
+  EXPECT_LT(eff(120), eff(180));
+  EXPECT_LT(eff(180), eff(240));
+  EXPECT_LT(eff(240), eff(300));
+  EXPECT_GT(eff(300), eff(340));
+  EXPECT_GT(eff(340), eff(400));
+}
+
+// Table II shape: SGEMM (half the element size: L2 blocks always fit)
+// improves monotonically through k=400.
+TEST_F(KncModelTest, SgemmEfficiencyMonotoneThrough400) {
+  auto eff = [&](std::size_t k) {
+    return model_.gemm_efficiency(28000, 28000, k, k, true, Precision::kSingle,
+                                  cores_);
+  };
+  EXPECT_LT(eff(120), eff(240));
+  EXPECT_LT(eff(240), eff(300));
+  EXPECT_LT(eff(300), eff(400));
+}
+
+// Working-set arithmetic from Section III-A1: 8*(m*k + n*k + m*n) with
+// m=120, n=32. k=240 fits comfortably under the usable-L2 threshold; k=400
+// overflows it for DP but not for SP (half the element size).
+TEST_F(KncModelTest, WorkingSetResidency) {
+  const double usable = model_.params().l2_usable_bytes;
+  EXPECT_LT(model_.working_set_bytes(240, Precision::kDouble), usable);
+  EXPECT_GT(model_.working_set_bytes(400, Precision::kDouble), usable);
+  EXPECT_LT(model_.working_set_bytes(400, Precision::kSingle), usable);
+  // Exact byte count for the paper's example block: 8*(120*240+32*240+120*32).
+  EXPECT_DOUBLE_EQ(model_.working_set_bytes(240, Precision::kDouble),
+                   8.0 * (120 * 240 + 32 * 240 + 120 * 32));
+}
+
+// Figure 4 anchor: outer-product kernel (no packing) reaches ~88% at 5K.
+TEST_F(KncModelTest, Fig4KernelEfficiencyAt5K) {
+  const double eff = model_.gemm_efficiency(5000, 5000, 300, 300, false,
+                                            Precision::kDouble, cores_);
+  EXPECT_NEAR(eff, 0.88, 0.015);
+}
+
+// Figure 4: packing overhead 15% at 1K, under 2%+eps at 5K, under 1% at 17K.
+TEST_F(KncModelTest, Fig4PackingOverheadDecays) {
+  auto overhead = [&](std::size_t n) {
+    const double with = model_.gemm_seconds(n, n, 300, 300, true,
+                                            Precision::kDouble, cores_);
+    const double without = model_.gemm_seconds(n, n, 300, 300, false,
+                                               Precision::kDouble, cores_);
+    return (with - without) / with;
+  };
+  EXPECT_NEAR(overhead(1000), 0.15, 0.05);
+  EXPECT_LT(overhead(5000), 0.035);
+  EXPECT_LT(overhead(17000), 0.01);
+  EXPECT_GT(overhead(1000), overhead(5000));
+  EXPECT_GT(overhead(5000), overhead(17000));
+}
+
+// Efficiency is quoted against peak: at k=300 the kernel should deliver about
+// 944 GFLOPS on 60 cores (Table II).
+TEST_F(KncModelTest, TableIIDgemmGflops) {
+  const double gf = model_.gemm_gflops(28000, 28000, 300, 300, true,
+                                       Precision::kDouble, cores_);
+  EXPECT_NEAR(gf, 944.0, 12.0);
+}
+
+TEST_F(KncModelTest, UtilizationPerfectOnExactGrid) {
+  // 60 cores * block (120 x 32): a 7200 x 320 matrix gives exactly 600 blocks
+  // = 10 rounds of 60.
+  EXPECT_NEAR(model_.utilization(7200, 320, 60), 1.0, 1e-9);
+}
+
+TEST_F(KncModelTest, UtilizationDropsForTinyMatrices) {
+  EXPECT_LT(model_.utilization(200, 64, 60), 0.5);
+}
+
+TEST_F(KncModelTest, Basic1VariantIsSlower) {
+  KncGemmParams p1;
+  p1.variant = KernelVariant::kBasic1;
+  KncGemmModel m1(MachineSpec::knights_corner(), p1);
+  EXPECT_LT(m1.issue_efficiency(Precision::kDouble),
+            model_.issue_efficiency(Precision::kDouble));
+}
+
+TEST_F(KncModelTest, GemmSecondsScalesWithWork) {
+  const double t1 = model_.gemm_seconds(8000, 8000, 300, 300, false,
+                                        Precision::kDouble, cores_);
+  const double t2 = model_.gemm_seconds(16000, 16000, 300, 300, false,
+                                        Precision::kDouble, cores_);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.2);  // 4x the flops
+}
+
+TEST_F(KncModelTest, PartialLastChunkHandled) {
+  const double t = model_.gemm_seconds(1000, 1000, 450, 300, false,
+                                       Precision::kDouble, cores_);
+  const double t300 = model_.gemm_seconds(1000, 1000, 300, 300, false,
+                                          Precision::kDouble, cores_);
+  const double t150 = model_.gemm_seconds(1000, 1000, 150, 150, false,
+                                          Precision::kDouble, cores_);
+  EXPECT_NEAR(t, t300 + t150, 1e-12);
+}
+
+// Parameter perturbations must move efficiency in the physically expected
+// direction (guards against sign errors in the model composition).
+TEST_F(KncModelTest, ParameterPerturbationsActCorrectly) {
+  sim::KncGemmParams p;
+  // Bigger L2 penalty hurts k=400 (overflowing) but not k=240 (resident).
+  p.l2_penalty_max = 0.05;
+  KncGemmModel harsher(MachineSpec::knights_corner(), p);
+  EXPECT_LT(harsher.block_efficiency(400, Precision::kDouble),
+            model_.block_efficiency(400, Precision::kDouble));
+  EXPECT_NEAR(harsher.block_efficiency(240, Precision::kDouble),
+              model_.block_efficiency(240, Precision::kDouble), 1e-12);
+
+  // Bigger fixed outer-product cost hurts small N more than large N.
+  sim::KncGemmParams q;
+  q.fixed_outer_product_seconds = 2e-3;
+  KncGemmModel slow_start(MachineSpec::knights_corner(), q);
+  const double small_drop =
+      model_.gemm_efficiency(2000, 2000, 300, 300, false, Precision::kDouble, 60) -
+      slow_start.gemm_efficiency(2000, 2000, 300, 300, false, Precision::kDouble, 60);
+  const double large_drop =
+      model_.gemm_efficiency(28000, 28000, 300, 300, false, Precision::kDouble, 60) -
+      slow_start.gemm_efficiency(28000, 28000, 300, 300, false, Precision::kDouble, 60);
+  EXPECT_GT(small_drop, large_drop * 3);
+}
+
+TEST_F(KncModelTest, PackingOnlyAffectsPackingPath) {
+  sim::KncGemmParams p;
+  p.pack_bw_half_size = 50000.0;  // much slower packing
+  KncGemmModel slow_pack(MachineSpec::knights_corner(), p);
+  EXPECT_DOUBLE_EQ(
+      slow_pack.gemm_seconds(8000, 8000, 300, 300, false, Precision::kDouble, 60),
+      model_.gemm_seconds(8000, 8000, 300, 300, false, Precision::kDouble, 60));
+  EXPECT_GT(
+      slow_pack.gemm_seconds(8000, 8000, 300, 300, true, Precision::kDouble, 60),
+      model_.gemm_seconds(8000, 8000, 300, 300, true, Precision::kDouble, 60));
+}
+
+// --- SNB host model ---
+
+TEST(SnbModel, DgemmApproaches90Percent) {
+  SnbModel snb;
+  EXPECT_NEAR(snb.dgemm_efficiency(28000, 28000, 28000), 0.90, 0.01);
+  EXPECT_LT(snb.dgemm_efficiency(1000, 1000, 1000), 0.75);
+}
+
+TEST(SnbModel, HplMatchesFig6Anchor) {
+  SnbModel snb;
+  // 277 GFLOPS = 83% at N=30K (Figure 6).
+  EXPECT_NEAR(snb.hpl_gflops(30000), 277.0, 4.0);
+  EXPECT_NEAR(snb.hpl_efficiency(30000), 0.832, 0.01);
+}
+
+TEST(SnbModel, HplEfficiencyIncreasesWithN) {
+  SnbModel snb;
+  EXPECT_LT(snb.hpl_efficiency(5000), snb.hpl_efficiency(15000));
+  EXPECT_LT(snb.hpl_efficiency(15000), snb.hpl_efficiency(30000));
+}
+
+TEST(SnbModel, SecondsPositiveAndFinite) {
+  SnbModel snb;
+  const double t = snb.hpl_seconds(10000);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1e4);
+}
+
+// Property sweep: efficiency always in (0, 1] for a range of shapes.
+class KncEffSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KncEffSweep, EfficiencyInRange) {
+  const auto [n, k] = GetParam();
+  KncGemmModel model;
+  const double eff =
+      model.gemm_efficiency(n, n, k, k, true, Precision::kDouble, 60);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LE(eff, 0.94);  // never exceeds the kernel's issue efficiency
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, KncEffSweep,
+    ::testing::Combine(::testing::Values(500, 1000, 5000, 10000, 28000),
+                       ::testing::Values(120, 240, 300, 400)));
+
+}  // namespace
+}  // namespace xphi::sim

@@ -1,0 +1,88 @@
+#include "sim/lu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::sim {
+namespace {
+
+class KncLuModelTest : public ::testing::Test {
+ protected:
+  KncLuModel model_;
+};
+
+TEST_F(KncLuModelTest, PanelTimeGrowsWithRows) {
+  EXPECT_LT(model_.panel_seconds(5000, 240, 4),
+            model_.panel_seconds(30000, 240, 4));
+}
+
+TEST_F(KncLuModelTest, PanelSpeedsUpWithCoresButSublinearly) {
+  const double t4 = model_.panel_seconds(30000, 240, 4);
+  const double t8 = model_.panel_seconds(30000, 240, 8);
+  EXPECT_LT(t8, t4);
+  // Pivot synchronization grows with the group: less than 2x speedup.
+  EXPECT_GT(t8 * 2.0, t4);
+}
+
+TEST_F(KncLuModelTest, EarlyStagePanelHiddenByUpdate) {
+  // Paper Section IV-A: 4 threads (1 core) suffice to hide the panel during
+  // early stages dominated by large trailing updates. Compare the panel on a
+  // small group with the full-device trailing update at stage 0 of N=30K.
+  const double panel = model_.panel_seconds(30000 - 240, 240, 4);
+  const double update = model_.update_gemm_seconds(30000 - 240, 30000 - 240, 240,
+                                                   /*cores=*/56);
+  EXPECT_LT(panel, update);
+}
+
+TEST_F(KncLuModelTest, LateStagePanelNotHiddenBySmallGroup) {
+  // ... but at a 4K remaining matrix the same 1-core group can no longer hide
+  // the panel — the load imbalance the super-stage regrouping fixes.
+  const double panel = model_.panel_seconds(4000, 240, 1);
+  const double update = model_.update_gemm_seconds(4000, 4000, 240, 59);
+  EXPECT_GT(panel, update);
+}
+
+TEST_F(KncLuModelTest, SwapIsBandwidthBound) {
+  const double t = model_.swap_seconds(240, 10000);
+  // bytes = 2*2*8*240*10000 = 76.8 MB at 90 GB/s ~ 0.85 ms.
+  EXPECT_NEAR(t, 76.8e6 / (150e9 * 0.6), 1e-6);
+}
+
+TEST_F(KncLuModelTest, TrsmFasterThanUpdateForSameWidth) {
+  // DTRSM has nb/2(rows) the flops of the full-height GEMM update.
+  const double trsm = model_.trsm_seconds(240, 10000, 60);
+  const double gemm = model_.update_gemm_seconds(10000, 10000, 240, 60);
+  EXPECT_LT(trsm, gemm);
+}
+
+TEST_F(KncLuModelTest, ZeroWorkIsFree) {
+  EXPECT_EQ(model_.panel_seconds(0, 240, 4), 0.0);
+  EXPECT_EQ(model_.update_gemm_seconds(100, 0, 240, 4), 0.0);
+  EXPECT_EQ(model_.trsm_seconds(240, 0, 4), 0.0);
+}
+
+TEST(SnbLuModel, HostPanelFasterPerCoreThanKnc) {
+  // The paper offloads DGEMM but keeps panels on the host because SNB's
+  // out-of-order cores handle the latency-bound panel far better.
+  KncLuModel knc;
+  SnbLuModel snb;
+  const double knc_t = knc.panel_seconds(80000, 1200, 8);
+  const double snb_t = snb.panel_seconds(80000, 1200, 8);
+  EXPECT_LT(snb_t, knc_t);
+}
+
+TEST(SnbLuModel, DgemmUsesHostEnvelope) {
+  SnbLuModel snb;
+  const double t = snb.dgemm_seconds(8000, 8000, 1200, 16);
+  EXPECT_GT(t, 0.0);
+  // 2*8000^2*1200 flops at <= 333 GFLOPS: at least 0.46 s.
+  EXPECT_GT(t, 0.4);
+}
+
+TEST(SnbLuModel, SwapScalesWithWidth) {
+  SnbLuModel snb;
+  EXPECT_NEAR(snb.swap_seconds(1200, 20000) / snb.swap_seconds(1200, 10000),
+              2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xphi::sim

@@ -1,0 +1,88 @@
+#include "sim/smt_core.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::sim {
+namespace {
+
+// The paper's derivation: one b line per iteration per thread, plus the
+// ~3.75 lines of a 30-element column shared across 4 threads => ~2 lines
+// per iteration per thread.
+TEST(SmtCore, SharedSyncedThreadsNeedTwoLinesPerIteration) {
+  SmtGemmConfig cfg;
+  const auto r = simulate_smt_gemm(cfg);
+  EXPECT_NEAR(r.lines_per_iteration, 2.0, 0.15);
+}
+
+// Without sharing, every thread pays the full column: ~5 lines.
+TEST(SmtCore, UnsharedThreadsNeedFiveLinesPerIteration) {
+  SmtGemmConfig cfg;
+  cfg.share_a_tile = false;
+  const auto r = simulate_smt_gemm(cfg);
+  EXPECT_NEAR(r.lines_per_iteration, 4.75, 0.3);
+}
+
+// "...as long as all threads are synchronized": with enough drift the
+// leading thread's a lines are evicted before the trailing threads arrive.
+TEST(SmtCore, DriftDefeatsSharing) {
+  // Small drift survives (the trailing threads relay-refresh the LRU), but
+  // once the inter-thread distance outgrows what L1 retains, each thread
+  // refetches the column and lines/iteration climbs toward the unshared 5.
+  SmtGemmConfig synced;
+  synced.k = 16384;
+  SmtGemmConfig drifted = synced;
+  drifted.drift_iterations = 512;
+  const auto rs = simulate_smt_gemm(synced);
+  const auto rd = simulate_smt_gemm(drifted);
+  EXPECT_GT(rd.lines_per_iteration, rs.lines_per_iteration * 1.4);
+  SmtGemmConfig far = synced;
+  far.drift_iterations = 2048;
+  EXPECT_GT(simulate_smt_gemm(far).lines_per_iteration, 3.5);
+}
+
+TEST(SmtCore, SmallDriftStillMostlyReuses) {
+  SmtGemmConfig cfg;
+  cfg.drift_iterations = 64;  // within the relay-refresh reach of L1
+  const auto r = simulate_smt_gemm(cfg);
+  EXPECT_LT(r.lines_per_iteration, 2.2);
+}
+
+TEST(SmtCore, SharingImprovesIpc) {
+  SmtGemmConfig shared;
+  SmtGemmConfig unshared;
+  unshared.share_a_tile = false;
+  const auto rs = simulate_smt_gemm(shared);
+  const auto ru = simulate_smt_gemm(unshared);
+  EXPECT_GT(rs.ipc, ru.ipc);
+  EXPECT_LE(rs.ipc, 1.0);
+}
+
+TEST(SmtCore, FourThreadsHideMostOfTheL2Latency) {
+  // With 2 misses per 5-slot iteration and 24-cycle latency, a single
+  // thread would be hopelessly stalled; four threads keep the pipe busy
+  // most cycles.
+  SmtGemmConfig four;
+  const auto r4 = simulate_smt_gemm(four);
+  SmtGemmConfig one;
+  one.threads = 1;
+  const auto r1 = simulate_smt_gemm(one);
+  EXPECT_GT(r4.ipc, r1.ipc * 1.5);
+}
+
+TEST(SmtCore, InstructionCountMatchesStructure) {
+  SmtGemmConfig cfg;
+  cfg.k = 100;
+  const auto r = simulate_smt_gemm(cfg);
+  // 4 threads x 100 iterations x (1 b-load + 4 a-line touches).
+  EXPECT_EQ(r.instructions, 4u * 100u * 5u);
+}
+
+TEST(SmtCore, LargerL2LatencyLowersIpc) {
+  SmtGemmConfig fast;
+  SmtGemmConfig slow;
+  slow.l2_latency_cycles = 120;
+  EXPECT_GT(simulate_smt_gemm(fast).ipc, simulate_smt_gemm(slow).ipc);
+}
+
+}  // namespace
+}  // namespace xphi::sim

@@ -1,0 +1,98 @@
+#include "trace/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::trace {
+namespace {
+
+TEST(Timeline, RecordsSpansAndExtent) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 1.0);
+  tl.record(2, SpanKind::kPanelFactor, 0.5, 2.0);
+  EXPECT_EQ(tl.spans().size(), 2u);
+  EXPECT_EQ(tl.lanes(), 3u);
+  EXPECT_DOUBLE_EQ(tl.end_time(), 2.0);
+}
+
+TEST(Timeline, IgnoresEmptySpans) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 1.0, 1.0);
+  EXPECT_TRUE(tl.spans().empty());
+}
+
+TEST(Timeline, BusyByKindAggregates) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 1.0);
+  tl.record(1, SpanKind::kGemm, 0.0, 0.5);
+  tl.record(0, SpanKind::kTrsm, 1.0, 1.25);
+  const auto busy = tl.busy_by_kind();
+  EXPECT_DOUBLE_EQ(busy.at(SpanKind::kGemm), 1.5);
+  EXPECT_DOUBLE_EQ(busy.at(SpanKind::kTrsm), 0.25);
+}
+
+TEST(Timeline, LaneBusyExcludesIdle) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 1.0);
+  tl.record(0, SpanKind::kIdle, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(tl.lane_busy(0), 1.0);
+}
+
+TEST(Timeline, UtilizationIsAreaFraction) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 1.0);
+  tl.record(1, SpanKind::kGemm, 0.0, 2.0);
+  // busy 3.0 over area 2 lanes * 2.0s.
+  EXPECT_DOUBLE_EQ(tl.utilization(), 0.75);
+}
+
+TEST(Gantt, RendersOneRowPerLane) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 1.0);
+  tl.record(1, SpanKind::kPanelFactor, 0.0, 1.0);
+  const std::string g = render_gantt(tl, 10);
+  // Two lane rows plus legend.
+  EXPECT_NE(g.find("g0 |MMMMMMMMMM|"), std::string::npos);
+  EXPECT_NE(g.find("g1 |GGGGGGGGGG|"), std::string::npos);
+  EXPECT_NE(g.find("legend"), std::string::npos);
+}
+
+TEST(Gantt, DominantKindWinsBucket) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 0.9);
+  tl.record(0, SpanKind::kTrsm, 0.9, 1.0);
+  const std::string g = render_gantt(tl, 1);
+  EXPECT_NE(g.find("g0 |M|"), std::string::npos);
+}
+
+TEST(Gantt, IdleRendersAsDots) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 0.5);
+  tl.record(1, SpanKind::kGemm, 0.5, 1.0);
+  const std::string g = render_gantt(tl, 4);
+  EXPECT_NE(g.find("g0 |MM..|"), std::string::npos);
+  EXPECT_NE(g.find("g1 |..MM|"), std::string::npos);
+}
+
+TEST(Gantt, EmptyTimeline) {
+  Timeline tl;
+  EXPECT_EQ(render_gantt(tl), "(empty timeline)\n");
+}
+
+TEST(TimelineCsv, SerializesSpans) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.0, 1.5);
+  tl.record(2, SpanKind::kRowSwap, 1.5, 2.0);
+  const std::string csv = timeline_to_csv(tl);
+  EXPECT_NE(csv.find("lane,kind,t0,t1\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,DGEMM,0,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("2,DLASWP,1.5,2"), std::string::npos);
+}
+
+TEST(SpanKindMeta, NamesAndGlyphsDistinct) {
+  EXPECT_STREQ(span_kind_name(SpanKind::kGemm), "DGEMM");
+  EXPECT_EQ(span_kind_glyph(SpanKind::kPanelFactor), 'G');
+  EXPECT_NE(span_kind_glyph(SpanKind::kGemm), span_kind_glyph(SpanKind::kTrsm));
+}
+
+}  // namespace
+}  // namespace xphi::trace

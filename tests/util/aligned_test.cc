@@ -1,0 +1,71 @@
+#include "util/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace xphi::util {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<double> b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAlignedStorage) {
+  AlignedBuffer<double> b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, ValueInitializes) {
+  AlignedBuffer<double> b(64);
+  for (double v : b) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, ElementsAreWritable) {
+  AlignedBuffer<int> b(10);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<int>(i * i);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_EQ(b[i], static_cast<int>(i * i));
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[3] = 42;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<int> a(8);
+  AlignedBuffer<int> b(4);
+  a[0] = 7;
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 7);
+}
+
+TEST(AlignedBuffer, ResetReallocates) {
+  AlignedBuffer<int> a(4);
+  a.reset(16);
+  EXPECT_EQ(a.size(), 16u);
+  for (int v : a) EXPECT_EQ(v, 0);
+}
+
+TEST(AlignedBuffer, ResetToZeroFrees) {
+  AlignedBuffer<int> a(4);
+  a.reset(0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+}  // namespace
+}  // namespace xphi::util

@@ -1,0 +1,38 @@
+#include "util/flops.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::util {
+namespace {
+
+TEST(Flops, Gemm) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(gemm_flops(28000, 28000, 300), 2.0 * 28000.0 * 28000.0 * 300.0);
+}
+
+TEST(Flops, Trsm) { EXPECT_DOUBLE_EQ(trsm_flops(4, 10), 160.0); }
+
+TEST(Flops, PanelMatchesHandCount) {
+  // 3x2 panel: j=0: 2 divides + 2*2*1 update = 6; j=1: 1 divide + 0 = 1.
+  EXPECT_DOUBLE_EQ(getrf_panel_flops(3, 2), 7.0);
+}
+
+TEST(Flops, PanelOfFullSquareApproachesGetrf) {
+  // For a square matrix the panel count equals the full LU count.
+  const double full = getrf_flops(64);
+  const double panel = getrf_panel_flops(64, 64);
+  EXPECT_NEAR(panel / full, 1.0, 0.02);
+}
+
+TEST(Flops, LinpackDominatedByCubicTerm) {
+  const double n = 30000;
+  EXPECT_NEAR(linpack_flops(30000) / (2.0 / 3.0 * n * n * n), 1.0, 1e-3);
+}
+
+TEST(Flops, GflopsConversion) {
+  EXPECT_DOUBLE_EQ(gflops(2e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1e9, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace xphi::util

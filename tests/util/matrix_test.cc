@@ -1,0 +1,80 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace xphi::util {
+namespace {
+
+TEST(Matrix, RowMajorIndexing) {
+  Matrix<double> m(3, 4);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.data()[1 * 4 + 2], 5.0);
+  EXPECT_EQ(m.ld(), 4u);
+}
+
+TEST(Matrix, PaddedLeadingDimension) {
+  Matrix<double> m(3, 4, 8);
+  m(2, 3) = 9.0;
+  EXPECT_EQ(m.data()[2 * 8 + 3], 9.0);
+  EXPECT_EQ(m.ld(), 8u);
+}
+
+TEST(Matrix, FillSetsAllEntries) {
+  Matrix<double> m(5, 7, 9);
+  m.fill(3.5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 7; ++c) EXPECT_EQ(m(r, c), 3.5);
+}
+
+TEST(MatrixView, BlockAddressesParent) {
+  Matrix<double> m(6, 6);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c) m(r, c) = static_cast<double>(10 * r + c);
+  MatrixView<double> b = m.block(2, 3, 3, 2);
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_EQ(b(0, 0), 23.0);
+  EXPECT_EQ(b(2, 1), 44.0);
+  b(1, 1) = -1.0;
+  EXPECT_EQ(m(3, 4), -1.0);
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Matrix<double> m(8, 8);
+  m.fill(0.0);
+  auto outer = m.block(1, 1, 6, 6);
+  auto inner = outer.block(2, 2, 2, 2);
+  inner(0, 0) = 7.0;
+  EXPECT_EQ(m(3, 3), 7.0);
+}
+
+TEST(MatrixView, ConstConversion) {
+  Matrix<double> m(2, 2);
+  m(0, 0) = 4.0;
+  MatrixView<const double> cv = m.view();
+  EXPECT_EQ(cv(0, 0), 4.0);
+}
+
+TEST(MatrixNorms, MaxAbsDiff) {
+  Matrix<double> a(2, 2), b(2, 2);
+  a.fill(1.0);
+  b.fill(1.0);
+  b(1, 0) = 1.25;
+  EXPECT_DOUBLE_EQ(max_abs_diff<double>(a.view(), b.view()), 0.25);
+}
+
+TEST(MatrixNorms, NormInfIsMaxRowSum) {
+  Matrix<double> a(2, 3);
+  a(0, 0) = 1; a(0, 1) = -2; a(0, 2) = 3;   // row sum 6
+  a(1, 0) = -4; a(1, 1) = 1; a(1, 2) = 0;   // row sum 5
+  EXPECT_DOUBLE_EQ(norm_inf<double>(a.view()), 6.0);
+}
+
+TEST(MatrixView, EmptyBehaves) {
+  MatrixView<double> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace xphi::util

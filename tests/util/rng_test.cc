@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xphi::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, CenteredRange) {
+  Rng g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = g.next_centered();
+    EXPECT_GE(v, -0.5);
+    EXPECT_LT(v, 0.5);
+  }
+}
+
+TEST(Rng, CenteredMeanNearZero) {
+  Rng g(42);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.next_centered();
+  EXPECT_NEAR(sum / n, 0.0, 5e-3);
+}
+
+TEST(Rng, NextInRange) {
+  Rng g(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g.next_in(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(HplFill, EntryIsPositionStable) {
+  // The same global coordinates must yield the same value regardless of how
+  // the matrix is partitioned — the property the distributed tests rely on.
+  Matrix<double> whole(8, 8);
+  fill_hpl_matrix(whole.view(), /*seed=*/99);
+  Matrix<double> part(4, 4);
+  fill_hpl_matrix(part.view(), /*seed=*/99, /*row0=*/2, /*col0=*/3);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(part(r, c), whole(2 + r, 3 + c));
+}
+
+TEST(HplFill, DifferentSeedsDiffer) {
+  Matrix<double> a(4, 4), b(4, 4);
+  fill_hpl_matrix(a.view(), 1);
+  fill_hpl_matrix(b.view(), 2);
+  EXPECT_GT(max_abs_diff<double>(a.view(), b.view()), 0.0);
+}
+
+TEST(HplFill, EntriesInHplRange) {
+  Matrix<double> a(16, 16);
+  fill_hpl_matrix(a.view(), 5);
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_GE(a(r, c), -0.5);
+      EXPECT_LT(a(r, c), 0.5);
+    }
+}
+
+TEST(HplFill, DiagDominantHasLargeDiagonal) {
+  Matrix<double> a(8, 8);
+  fill_diag_dominant(a.view(), 3);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double off = 0;
+    for (std::size_t c = 0; c < 8; ++c)
+      if (c != i) off += std::abs(a(i, c));
+    EXPECT_GT(std::abs(a(i, i)), off);
+  }
+}
+
+}  // namespace
+}  // namespace xphi::util

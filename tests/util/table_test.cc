@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace xphi::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"k", "300"});
+  t.add_row({"efficiency", "89.4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("89.4"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(89.4375, 2), "89.44");
+  EXPECT_EQ(Table::fmt(89.4375, 0), "89");
+}
+
+TEST(Table, FmtIntegers) {
+  EXPECT_EQ(Table::fmt(static_cast<std::size_t>(28000)), "28000");
+  EXPECT_EQ(Table::fmt(-3), "-3");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintWritesCsvFile) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = "/tmp/xphi_table_test.csv";
+  t.print(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xphi::util

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/barrier.h"
+
+namespace xphi::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForCountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunOnAllGivesDistinctIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(4);
+  pool.run_on_all([&](std::size_t idx) { seen[idx].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round)
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  EXPECT_EQ(sum.load(), 10 * (99 * 100 / 2));
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+  std::atomic<bool> violation{false};
+  ThreadPool pool(kThreads);
+  pool.run_on_all([&](std::size_t) {
+    for (int p = 0; p < 3; ++p) {
+      phase_counts[p].fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier everyone must have bumped this phase's counter.
+      if (phase_counts[p].load() != static_cast<int>(kThreads))
+        violation.store(true);
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 5; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace xphi::util
