@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superstage.dir/bench_ablation_superstage.cc.o"
+  "CMakeFiles/bench_ablation_superstage.dir/bench_ablation_superstage.cc.o.d"
+  "bench_ablation_superstage"
+  "bench_ablation_superstage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superstage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_worksteal.dir/bench_ablation_worksteal.cc.o"
+  "CMakeFiles/bench_ablation_worksteal.dir/bench_ablation_worksteal.cc.o.d"
+  "bench_ablation_worksteal"
+  "bench_ablation_worksteal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_worksteal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

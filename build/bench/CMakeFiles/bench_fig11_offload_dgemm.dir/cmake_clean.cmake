@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_offload_dgemm.dir/bench_fig11_offload_dgemm.cc.o"
+  "CMakeFiles/bench_fig11_offload_dgemm.dir/bench_fig11_offload_dgemm.cc.o.d"
+  "bench_fig11_offload_dgemm"
+  "bench_fig11_offload_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_offload_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

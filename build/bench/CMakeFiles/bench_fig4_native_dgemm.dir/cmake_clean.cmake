@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_native_dgemm.dir/bench_fig4_native_dgemm.cc.o"
+  "CMakeFiles/bench_fig4_native_dgemm.dir/bench_fig4_native_dgemm.cc.o.d"
+  "bench_fig4_native_dgemm"
+  "bench_fig4_native_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_native_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_native_linpack.dir/bench_fig6_native_linpack.cc.o"
+  "CMakeFiles/bench_fig6_native_linpack.dir/bench_fig6_native_linpack.cc.o.d"
+  "bench_fig6_native_linpack"
+  "bench_fig6_native_linpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_native_linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

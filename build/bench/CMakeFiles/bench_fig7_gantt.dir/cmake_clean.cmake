@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gantt.dir/bench_fig7_gantt.cc.o"
+  "CMakeFiles/bench_fig7_gantt.dir/bench_fig7_gantt.cc.o.d"
+  "bench_fig7_gantt"
+  "bench_fig7_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

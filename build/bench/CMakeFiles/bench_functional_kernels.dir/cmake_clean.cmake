@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_kernels.dir/bench_functional_kernels.cc.o"
+  "CMakeFiles/bench_functional_kernels.dir/bench_functional_kernels.cc.o.d"
+  "bench_functional_kernels"
+  "bench_functional_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

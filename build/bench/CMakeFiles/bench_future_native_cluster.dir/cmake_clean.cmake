@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_native_cluster.dir/bench_future_native_cluster.cc.o"
+  "CMakeFiles/bench_future_native_cluster.dir/bench_future_native_cluster.cc.o.d"
+  "bench_future_native_cluster"
+  "bench_future_native_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_native_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hpl_cluster.dir/bench_table3_hpl_cluster.cc.o"
+  "CMakeFiles/bench_table3_hpl_cluster.dir/bench_table3_hpl_cluster.cc.o.d"
+  "bench_table3_hpl_cluster"
+  "bench_table3_hpl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hpl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_node.dir/hybrid_node.cpp.o"
+  "CMakeFiles/hybrid_node.dir/hybrid_node.cpp.o.d"
+  "hybrid_node"
+  "hybrid_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_anatomy.dir/kernel_anatomy.cpp.o"
+  "CMakeFiles/kernel_anatomy.dir/kernel_anatomy.cpp.o.d"
+  "kernel_anatomy"
+  "kernel_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

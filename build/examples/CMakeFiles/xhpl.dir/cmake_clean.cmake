@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xhpl.dir/xhpl.cpp.o"
+  "CMakeFiles/xhpl.dir/xhpl.cpp.o.d"
+  "xhpl"
+  "xhpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xhpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hybrid_functional.cc" "src/core/CMakeFiles/xphi_core.dir/hybrid_functional.cc.o" "gcc" "src/core/CMakeFiles/xphi_core.dir/hybrid_functional.cc.o.d"
+  "/root/repo/src/core/hybrid_hpl.cc" "src/core/CMakeFiles/xphi_core.dir/hybrid_hpl.cc.o" "gcc" "src/core/CMakeFiles/xphi_core.dir/hybrid_hpl.cc.o.d"
+  "/root/repo/src/core/offload_dgemm.cc" "src/core/CMakeFiles/xphi_core.dir/offload_dgemm.cc.o" "gcc" "src/core/CMakeFiles/xphi_core.dir/offload_dgemm.cc.o.d"
+  "/root/repo/src/core/offload_functional.cc" "src/core/CMakeFiles/xphi_core.dir/offload_functional.cc.o" "gcc" "src/core/CMakeFiles/xphi_core.dir/offload_functional.cc.o.d"
+  "/root/repo/src/core/tile_grid.cc" "src/core/CMakeFiles/xphi_core.dir/tile_grid.cc.o" "gcc" "src/core/CMakeFiles/xphi_core.dir/tile_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xphi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

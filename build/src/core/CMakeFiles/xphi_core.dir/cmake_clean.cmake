@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_core.dir/hybrid_functional.cc.o"
+  "CMakeFiles/xphi_core.dir/hybrid_functional.cc.o.d"
+  "CMakeFiles/xphi_core.dir/hybrid_hpl.cc.o"
+  "CMakeFiles/xphi_core.dir/hybrid_hpl.cc.o.d"
+  "CMakeFiles/xphi_core.dir/offload_dgemm.cc.o"
+  "CMakeFiles/xphi_core.dir/offload_dgemm.cc.o.d"
+  "CMakeFiles/xphi_core.dir/offload_functional.cc.o"
+  "CMakeFiles/xphi_core.dir/offload_functional.cc.o.d"
+  "CMakeFiles/xphi_core.dir/tile_grid.cc.o"
+  "CMakeFiles/xphi_core.dir/tile_grid.cc.o.d"
+  "libxphi_core.a"
+  "libxphi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_hpl.dir/config.cc.o"
+  "CMakeFiles/xphi_hpl.dir/config.cc.o.d"
+  "CMakeFiles/xphi_hpl.dir/distributed.cc.o"
+  "CMakeFiles/xphi_hpl.dir/distributed.cc.o.d"
+  "libxphi_hpl.a"
+  "libxphi_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

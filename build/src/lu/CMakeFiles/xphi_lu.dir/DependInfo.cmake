@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lu/dag.cc" "src/lu/CMakeFiles/xphi_lu.dir/dag.cc.o" "gcc" "src/lu/CMakeFiles/xphi_lu.dir/dag.cc.o.d"
+  "/root/repo/src/lu/functional.cc" "src/lu/CMakeFiles/xphi_lu.dir/functional.cc.o" "gcc" "src/lu/CMakeFiles/xphi_lu.dir/functional.cc.o.d"
+  "/root/repo/src/lu/native_cluster.cc" "src/lu/CMakeFiles/xphi_lu.dir/native_cluster.cc.o" "gcc" "src/lu/CMakeFiles/xphi_lu.dir/native_cluster.cc.o.d"
+  "/root/repo/src/lu/native_linpack.cc" "src/lu/CMakeFiles/xphi_lu.dir/native_linpack.cc.o" "gcc" "src/lu/CMakeFiles/xphi_lu.dir/native_linpack.cc.o.d"
+  "/root/repo/src/lu/sim_scheduler.cc" "src/lu/CMakeFiles/xphi_lu.dir/sim_scheduler.cc.o" "gcc" "src/lu/CMakeFiles/xphi_lu.dir/sim_scheduler.cc.o.d"
+  "/root/repo/src/lu/thread_plan.cc" "src/lu/CMakeFiles/xphi_lu.dir/thread_plan.cc.o" "gcc" "src/lu/CMakeFiles/xphi_lu.dir/thread_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xphi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xphi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

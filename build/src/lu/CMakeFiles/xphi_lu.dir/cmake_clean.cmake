@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_lu.dir/dag.cc.o"
+  "CMakeFiles/xphi_lu.dir/dag.cc.o.d"
+  "CMakeFiles/xphi_lu.dir/functional.cc.o"
+  "CMakeFiles/xphi_lu.dir/functional.cc.o.d"
+  "CMakeFiles/xphi_lu.dir/native_cluster.cc.o"
+  "CMakeFiles/xphi_lu.dir/native_cluster.cc.o.d"
+  "CMakeFiles/xphi_lu.dir/native_linpack.cc.o"
+  "CMakeFiles/xphi_lu.dir/native_linpack.cc.o.d"
+  "CMakeFiles/xphi_lu.dir/sim_scheduler.cc.o"
+  "CMakeFiles/xphi_lu.dir/sim_scheduler.cc.o.d"
+  "CMakeFiles/xphi_lu.dir/thread_plan.cc.o"
+  "CMakeFiles/xphi_lu.dir/thread_plan.cc.o.d"
+  "libxphi_lu.a"
+  "libxphi_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxphi_lu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_net_impl.dir/world.cc.o"
+  "CMakeFiles/xphi_net_impl.dir/world.cc.o.d"
+  "libxphi_net_impl.a"
+  "libxphi_net_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_net_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

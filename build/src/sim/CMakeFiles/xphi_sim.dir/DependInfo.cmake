@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/xphi_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/xphi_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/gemm_model.cc" "src/sim/CMakeFiles/xphi_sim.dir/gemm_model.cc.o" "gcc" "src/sim/CMakeFiles/xphi_sim.dir/gemm_model.cc.o.d"
+  "/root/repo/src/sim/lu_model.cc" "src/sim/CMakeFiles/xphi_sim.dir/lu_model.cc.o" "gcc" "src/sim/CMakeFiles/xphi_sim.dir/lu_model.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/xphi_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/xphi_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/xphi_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/xphi_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/smt_core.cc" "src/sim/CMakeFiles/xphi_sim.dir/smt_core.cc.o" "gcc" "src/sim/CMakeFiles/xphi_sim.dir/smt_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_sim.dir/cache.cc.o"
+  "CMakeFiles/xphi_sim.dir/cache.cc.o.d"
+  "CMakeFiles/xphi_sim.dir/gemm_model.cc.o"
+  "CMakeFiles/xphi_sim.dir/gemm_model.cc.o.d"
+  "CMakeFiles/xphi_sim.dir/lu_model.cc.o"
+  "CMakeFiles/xphi_sim.dir/lu_model.cc.o.d"
+  "CMakeFiles/xphi_sim.dir/machine.cc.o"
+  "CMakeFiles/xphi_sim.dir/machine.cc.o.d"
+  "CMakeFiles/xphi_sim.dir/pipeline.cc.o"
+  "CMakeFiles/xphi_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/xphi_sim.dir/smt_core.cc.o"
+  "CMakeFiles/xphi_sim.dir/smt_core.cc.o.d"
+  "libxphi_sim.a"
+  "libxphi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

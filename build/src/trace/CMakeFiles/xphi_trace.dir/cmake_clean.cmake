@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_trace.dir/timeline.cc.o"
+  "CMakeFiles/xphi_trace.dir/timeline.cc.o.d"
+  "libxphi_trace.a"
+  "libxphi_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

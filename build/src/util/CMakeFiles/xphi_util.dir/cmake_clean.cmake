@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphi_util.dir/table.cc.o"
+  "CMakeFiles/xphi_util.dir/table.cc.o.d"
+  "CMakeFiles/xphi_util.dir/thread_pool.cc.o"
+  "CMakeFiles/xphi_util.dir/thread_pool.cc.o.d"
+  "libxphi_util.a"
+  "libxphi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

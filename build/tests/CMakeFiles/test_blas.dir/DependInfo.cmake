@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blas/basic_kernels_test.cc" "tests/CMakeFiles/test_blas.dir/blas/basic_kernels_test.cc.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/basic_kernels_test.cc.o.d"
+  "/root/repo/tests/blas/gemm_test.cc" "tests/CMakeFiles/test_blas.dir/blas/gemm_test.cc.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/gemm_test.cc.o.d"
+  "/root/repo/tests/blas/getrf_test.cc" "tests/CMakeFiles/test_blas.dir/blas/getrf_test.cc.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/getrf_test.cc.o.d"
+  "/root/repo/tests/blas/lu_kernels_test.cc" "tests/CMakeFiles/test_blas.dir/blas/lu_kernels_test.cc.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/lu_kernels_test.cc.o.d"
+  "/root/repo/tests/blas/pack_test.cc" "tests/CMakeFiles/test_blas.dir/blas/pack_test.cc.o" "gcc" "tests/CMakeFiles/test_blas.dir/blas/pack_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/blas/basic_kernels_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/basic_kernels_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/gemm_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/gemm_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/getrf_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/getrf_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/lu_kernels_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/lu_kernels_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/pack_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/pack_test.cc.o.d"
+  "test_blas"
+  "test_blas.pdb"
+  "test_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

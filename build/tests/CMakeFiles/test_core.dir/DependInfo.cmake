@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/hybrid_functional_test.cc" "tests/CMakeFiles/test_core.dir/core/hybrid_functional_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hybrid_functional_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_hpl_test.cc" "tests/CMakeFiles/test_core.dir/core/hybrid_hpl_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hybrid_hpl_test.cc.o.d"
+  "/root/repo/tests/core/offload_dgemm_test.cc" "tests/CMakeFiles/test_core.dir/core/offload_dgemm_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/offload_dgemm_test.cc.o.d"
+  "/root/repo/tests/core/offload_functional_test.cc" "tests/CMakeFiles/test_core.dir/core/offload_functional_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/offload_functional_test.cc.o.d"
+  "/root/repo/tests/core/tile_grid_test.cc" "tests/CMakeFiles/test_core.dir/core/tile_grid_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tile_grid_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xphi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xphi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/hybrid_functional_test.cc.o"
+  "CMakeFiles/test_core.dir/core/hybrid_functional_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/hybrid_hpl_test.cc.o"
+  "CMakeFiles/test_core.dir/core/hybrid_hpl_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/offload_dgemm_test.cc.o"
+  "CMakeFiles/test_core.dir/core/offload_dgemm_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/offload_functional_test.cc.o"
+  "CMakeFiles/test_core.dir/core/offload_functional_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/tile_grid_test.cc.o"
+  "CMakeFiles/test_core.dir/core/tile_grid_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpl/block_cyclic_test.cc" "tests/CMakeFiles/test_hpl.dir/hpl/block_cyclic_test.cc.o" "gcc" "tests/CMakeFiles/test_hpl.dir/hpl/block_cyclic_test.cc.o.d"
+  "/root/repo/tests/hpl/config_test.cc" "tests/CMakeFiles/test_hpl.dir/hpl/config_test.cc.o" "gcc" "tests/CMakeFiles/test_hpl.dir/hpl/config_test.cc.o.d"
+  "/root/repo/tests/hpl/distributed_test.cc" "tests/CMakeFiles/test_hpl.dir/hpl/distributed_test.cc.o" "gcc" "tests/CMakeFiles/test_hpl.dir/hpl/distributed_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpl/CMakeFiles/xphi_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xphi_net_impl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xphi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xphi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpl.dir/hpl/block_cyclic_test.cc.o"
+  "CMakeFiles/test_hpl.dir/hpl/block_cyclic_test.cc.o.d"
+  "CMakeFiles/test_hpl.dir/hpl/config_test.cc.o"
+  "CMakeFiles/test_hpl.dir/hpl/config_test.cc.o.d"
+  "CMakeFiles/test_hpl.dir/hpl/distributed_test.cc.o"
+  "CMakeFiles/test_hpl.dir/hpl/distributed_test.cc.o.d"
+  "test_hpl"
+  "test_hpl.pdb"
+  "test_hpl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lu.dir/lu/dag_test.cc.o"
+  "CMakeFiles/test_lu.dir/lu/dag_test.cc.o.d"
+  "CMakeFiles/test_lu.dir/lu/functional_test.cc.o"
+  "CMakeFiles/test_lu.dir/lu/functional_test.cc.o.d"
+  "CMakeFiles/test_lu.dir/lu/native_cluster_test.cc.o"
+  "CMakeFiles/test_lu.dir/lu/native_cluster_test.cc.o.d"
+  "CMakeFiles/test_lu.dir/lu/native_linpack_test.cc.o"
+  "CMakeFiles/test_lu.dir/lu/native_linpack_test.cc.o.d"
+  "CMakeFiles/test_lu.dir/lu/sim_scheduler_test.cc.o"
+  "CMakeFiles/test_lu.dir/lu/sim_scheduler_test.cc.o.d"
+  "CMakeFiles/test_lu.dir/lu/thread_plan_test.cc.o"
+  "CMakeFiles/test_lu.dir/lu/thread_plan_test.cc.o.d"
+  "test_lu"
+  "test_lu.pdb"
+  "test_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

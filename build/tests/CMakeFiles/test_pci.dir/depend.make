@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pci.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cache_test.cc" "tests/CMakeFiles/test_sim.dir/sim/cache_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/cache_test.cc.o.d"
+  "/root/repo/tests/sim/gemm_model_test.cc" "tests/CMakeFiles/test_sim.dir/sim/gemm_model_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/gemm_model_test.cc.o.d"
+  "/root/repo/tests/sim/lu_model_test.cc" "tests/CMakeFiles/test_sim.dir/sim/lu_model_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/lu_model_test.cc.o.d"
+  "/root/repo/tests/sim/machine_test.cc" "tests/CMakeFiles/test_sim.dir/sim/machine_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/machine_test.cc.o.d"
+  "/root/repo/tests/sim/pipeline_test.cc" "tests/CMakeFiles/test_sim.dir/sim/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/pipeline_test.cc.o.d"
+  "/root/repo/tests/sim/smt_core_test.cc" "tests/CMakeFiles/test_sim.dir/sim/smt_core_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/smt_core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xphi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
