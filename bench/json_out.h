@@ -1,0 +1,67 @@
+// Minimal JSON emitter for benchmark results.
+//
+// The paper-figure benches print human tables and drop CSVs; machine-read
+// trend tracking across PRs wants a stable JSON artifact instead
+// (BENCH_<name>.json next to the binary). Deliberately tiny: flat list of
+// records with numeric/string fields, no external dependency.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace xphi::bench {
+
+/// One benchmark record: ordered key -> number-or-string fields.
+class JsonRecord {
+ public:
+  JsonRecord& num(const std::string& key, double value) {
+    fields_.emplace_back(key, value);
+    return *this;
+  }
+  JsonRecord& str(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  void write(std::FILE* f) const {
+    std::fputc('{', f);
+    bool first = true;
+    for (const auto& [key, value] : fields_) {
+      if (!first) std::fputs(", ", f);
+      first = false;
+      std::fprintf(f, "\"%s\": ", key.c_str());
+      if (const double* d = std::get_if<double>(&value)) {
+        std::fprintf(f, "%.6g", *d);
+      } else {
+        std::fprintf(f, "\"%s\"", std::get<std::string>(value).c_str());
+      }
+    }
+    std::fputc('}', f);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::variant<double, std::string>>>
+      fields_;
+};
+
+/// Writes {"bench": name, "records": [...]} to `path`. Returns false if the
+/// file can't be opened (benches treat that as non-fatal).
+inline bool write_json(const std::string& path, const std::string& name,
+                       const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"bench\": \"%s\", \"records\": [\n", name.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fputs("  ", f);
+    records[i].write(f);
+    std::fputs(i + 1 < records.size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace xphi::bench

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the concurrency-bearing tests under ThreadSanitizer and runs them.
+#
+# Covers the dynamic parallel_for scheduler (thread pool), parallel packing
+# and the pack cache, the pooled tiled GEMM, and the DAG LU executor — the
+# code paths where a scheduling bug would be a data race rather than a wrong
+# number. CI-runnable: exits non-zero on any race report or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
+  >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target test_util test_blas test_lu test_core
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
+"$BUILD_DIR/tests/test_blas" --gtest_filter='Pack*:PackCache*:Gemm*'
+"$BUILD_DIR/tests/test_lu" --gtest_filter='FunctionalDagLu*:DagLuFactor*'
+"$BUILD_DIR/tests/test_core" --gtest_filter='OffloadFunctional*'
+
+echo "TSan: all monitored suites clean."

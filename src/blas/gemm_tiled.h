@@ -8,6 +8,15 @@
 // the real kernel lives in sim/pipeline.h. What this functional version
 // shares with the real one is the data layout, the loop structure, and the
 // numerics (verified against gemm_ref).
+//
+// Interior tiles take a branch-free fast path: the 30x8 C block is processed
+// as 5-row register sub-blocks whose accumulators actually fit in host
+// vector registers (the full 30x8 array spills to the stack, reloading every
+// accumulator each k-iteration), and the store-back is a compile-time 30x8
+// loop with no per-element masking. The masked store survives only on true
+// edge tiles — the paper's "edge waste" — so interior tiles never pay for
+// edges. Both paths accumulate each C element over k in the same order, so
+// the split changes no numerics.
 #pragma once
 
 #include <cstddef>
@@ -18,17 +27,42 @@
 
 namespace xphi::blas {
 
-/// C(rows x cols) = alpha * (a_tile * b_tile) + beta_or_accumulate.
-/// a_tile: tile_rows x k column-major; b_tile: k x tile_cols row-major.
-/// Writes only the live rows x cols corner (masks the zero padding).
+/// Rows per register sub-block of the full-tile fast path. 30 = 6 x 5: a
+/// 5x8 double accumulator block stays register-resident on any x86-64 host.
+inline constexpr std::size_t kMicroRows = 5;
+
+/// Full-tile fast path: C is exactly kTr x kTc, no masking anywhere.
+template <class T, std::size_t kTr, std::size_t kTc, std::size_t kRb>
+void micro_kernel_full(const T* a_tile, const T* b_tile, std::size_t k,
+                       T alpha, T beta, T* c, std::size_t ldc) {
+  static_assert(kTr % kRb == 0, "sub-block must divide the tile height");
+  for (std::size_t r0 = 0; r0 < kTr; r0 += kRb) {
+    T acc[kRb][kTc] = {};
+    const T* a_rows = a_tile + r0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const T* a_col = a_rows + j * kTr;  // contiguous column of a
+      const T* b_row = b_tile + j * kTc;  // contiguous row of b
+      for (std::size_t r = 0; r < kRb; ++r) {
+        const T av = a_col[r];
+        for (std::size_t c2 = 0; c2 < kTc; ++c2) acc[r][c2] += av * b_row[c2];
+      }
+    }
+    T* crow = c + r0 * ldc;
+    for (std::size_t r = 0; r < kRb; ++r)
+      for (std::size_t c2 = 0; c2 < kTc; ++c2)
+        crow[r * ldc + c2] = alpha * acc[r][c2] + beta * crow[r * ldc + c2];
+  }
+}
+
+/// Masked path for edge tiles: writes only the live rows x cols corner.
 template <class T, std::size_t kTr = kTileRows, std::size_t kTc = kTileCols>
-void micro_kernel(const T* a_tile, const T* b_tile, std::size_t k, T alpha,
-                  T beta, T* c, std::size_t ldc, std::size_t rows,
-                  std::size_t cols) {
+void micro_kernel_masked(const T* a_tile, const T* b_tile, std::size_t k,
+                         T alpha, T beta, T* c, std::size_t ldc,
+                         std::size_t rows, std::size_t cols) {
   T acc[kTr][kTc] = {};
   for (std::size_t j = 0; j < k; ++j) {
-    const T* a_col = a_tile + j * kTr;   // contiguous column of a
-    const T* b_row = b_tile + j * kTc;   // contiguous row of b
+    const T* a_col = a_tile + j * kTr;
+    const T* b_row = b_tile + j * kTc;
     for (std::size_t r = 0; r < kTr; ++r) {
       const T av = a_col[r];
       for (std::size_t c2 = 0; c2 < kTc; ++c2) acc[r][c2] += av * b_row[c2];
@@ -39,6 +73,24 @@ void micro_kernel(const T* a_tile, const T* b_tile, std::size_t k, T alpha,
       c[r * ldc + c2] = alpha * acc[r][c2] + beta * c[r * ldc + c2];
 }
 
+/// C(rows x cols) = alpha * (a_tile * b_tile) + beta_or_accumulate.
+/// a_tile: tile_rows x k column-major; b_tile: k x tile_cols row-major.
+/// Dispatches to the full-tile fast path when the whole kTr x kTc block is
+/// live; edge tiles mask the zero padding on store-back.
+template <class T, std::size_t kTr = kTileRows, std::size_t kTc = kTileCols>
+void micro_kernel(const T* a_tile, const T* b_tile, std::size_t k, T alpha,
+                  T beta, T* c, std::size_t ldc, std::size_t rows,
+                  std::size_t cols) {
+  if (rows == kTr && cols == kTc) {
+    constexpr std::size_t kRb = kTr % kMicroRows == 0 ? kMicroRows : kTr;
+    micro_kernel_full<T, kTr, kTc, kRb>(a_tile, b_tile, k, alpha, beta, c,
+                                        ldc);
+  } else {
+    micro_kernel_masked<T, kTr, kTc>(a_tile, b_tile, k, alpha, beta, c, ldc,
+                                     rows, cols);
+  }
+}
+
 /// One outer product over pre-packed operands:
 /// C(MxN) = alpha * Ai * Bi + beta * C.
 template <class T>
@@ -46,7 +98,6 @@ void outer_product_packed(T alpha, const PackedA<T>& a, const PackedB<T>& b,
                           T beta, util::MatrixView<T> c,
                           util::ThreadPool* pool = nullptr) {
   const std::size_t k = a.depth();
-  const std::size_t row_tiles = a.tiles();
   const std::size_t col_tiles = b.tiles();
   auto body = [&](std::size_t task) {
     const std::size_t rt = task / col_tiles;
@@ -57,7 +108,7 @@ void outer_product_packed(T alpha, const PackedA<T>& a, const PackedB<T>& b,
                     c.data() + r0 * c.ld() + c0, c.ld(), a.tile_height(rt),
                     b.tile_width(ct));
   };
-  const std::size_t tasks = row_tiles * col_tiles;
+  const std::size_t tasks = a.tiles() * col_tiles;
   if (pool != nullptr) {
     pool->parallel_for(tasks, body);
   } else {
@@ -68,6 +119,13 @@ void outer_product_packed(T alpha, const PackedA<T>& a, const PackedB<T>& b,
 /// Full GEMM C = alpha*A*B + beta*C decomposed into rank-k outer products
 /// (paper Section III-A: "a sequence of outer products"), packing each chunk
 /// into the Knights Corner-friendly format before multiplying.
+///
+/// Packing is pool-parallel, and with a pool the packing of chunk i+1 is
+/// folded into the same dispatch as chunk i's outer products: pack tasks sit
+/// behind the micro-kernel tasks in the dynamically claimed index space, so
+/// workers that drain the compute tasks early pick up next-chunk packing
+/// instead of idling (the double-buffered operand panels make the two chunks
+/// independent).
 template <class T>
 void gemm_tiled(T alpha, util::MatrixView<const T> a,
                 util::MatrixView<const T> b, T beta, util::MatrixView<T> c,
@@ -79,14 +137,52 @@ void gemm_tiled(T alpha, util::MatrixView<const T> a,
       for (std::size_t cc = 0; cc < c.cols(); ++cc) c(r, cc) *= beta;
     return;
   }
-  PackedA<T> pa;
-  PackedB<T> pb;
+  PackedA<T> pa[2];
+  PackedB<T> pb[2];
+  const std::size_t kc0 = std::min(chunk_k, big_k);
+  pa[0].pack(a.block(0, 0, a.rows(), kc0), kTileRows, pool);
+  pb[0].pack(b.block(0, 0, kc0, b.cols()), kTileCols, pool);
+  std::size_t cur = 0;
   for (std::size_t k0 = 0; k0 < big_k; k0 += chunk_k) {
-    const std::size_t kc = std::min(chunk_k, big_k - k0);
-    pa.pack(a.block(0, k0, a.rows(), kc));
-    pb.pack(b.block(k0, 0, kc, b.cols()));
+    const std::size_t next_k0 = k0 + chunk_k;
+    const bool has_next = next_k0 < big_k;
     // beta applies to the first chunk only; later chunks accumulate.
-    outer_product_packed<T>(alpha, pa, pb, k0 == 0 ? beta : T{1}, c, pool);
+    const T chunk_beta = k0 == 0 ? beta : T{1};
+    if (!has_next) {
+      outer_product_packed<T>(alpha, pa[cur], pb[cur], chunk_beta, c, pool);
+      break;
+    }
+    const std::size_t nxt = 1 - cur;
+    const std::size_t kc = std::min(chunk_k, big_k - next_k0);
+    const std::size_t a_tiles =
+        pa[nxt].prepare(a.block(0, next_k0, a.rows(), kc));
+    const std::size_t b_tiles =
+        pb[nxt].prepare(b.block(next_k0, 0, kc, b.cols()));
+    const std::size_t op_tasks = pa[cur].tiles() * pb[cur].tiles();
+    const std::size_t k_cur = pa[cur].depth();
+    const std::size_t col_tiles = pb[cur].tiles();
+    auto fused = [&](std::size_t task) {
+      if (task < op_tasks) {
+        const std::size_t rt = task / col_tiles;
+        const std::size_t ct = task % col_tiles;
+        const std::size_t r0 = rt * pa[cur].tile_rows();
+        const std::size_t c0 = ct * pb[cur].tile_cols();
+        micro_kernel<T>(pa[cur].tile(rt), pb[cur].tile(ct), k_cur, alpha,
+                        chunk_beta, c.data() + r0 * c.ld() + c0, c.ld(),
+                        pa[cur].tile_height(rt), pb[cur].tile_width(ct));
+      } else if (task < op_tasks + a_tiles) {
+        pa[nxt].pack_tile(task - op_tasks);
+      } else {
+        pb[nxt].pack_tile(task - op_tasks - a_tiles);
+      }
+    };
+    const std::size_t total = op_tasks + a_tiles + b_tiles;
+    if (pool != nullptr) {
+      pool->parallel_for(total, fused);
+    } else {
+      for (std::size_t t = 0; t < total; ++t) fused(t);
+    }
+    cur = nxt;
   }
 }
 

@@ -15,6 +15,15 @@
 // Edge tiles are zero-padded to full tile width: the kernel always runs
 // full-width vector operations and the store-back masks the padding (this is
 // the "edge waste" term in the performance model's utilization).
+//
+// Tiles are independent, so pack() parallelizes across tiles when given a
+// pool — the paper's "highly optimized packing routines" are bandwidth-bound
+// for exactly this reason. The two-phase prepare()/pack_tile() API exposes
+// per-tile packing so a caller can fold pack tasks of the *next* rank-k
+// chunk into the same dispatch as the current chunk's outer products
+// (gemm_tiled does this). Pack buffers keep their capacity across pack()
+// calls: repacking per rank-k chunk reuses the allocation instead of paying
+// an aligned_alloc + zero-fill each time.
 #pragma once
 
 #include <algorithm>
@@ -37,29 +46,41 @@ class PackedA {
  public:
   PackedA() = default;
 
-  /// Packs `a` (rows x k). tile_rows defaults to the Basic Kernel 2 blocking.
-  /// Tiles are independent, so a pool parallelizes the (bandwidth-bound)
-  /// packing across tiles — the paper's "highly optimized packing routines"
-  /// reach bandwidth-bound performance this way.
-  void pack(util::MatrixView<const T> a, std::size_t tile_rows = kTileRows,
-            util::ThreadPool* pool = nullptr) {
+  /// Sets the geometry for packing `a` (rows x k) and sizes the store,
+  /// reusing the existing allocation when possible. Returns the tile count.
+  /// The view is retained: it must stay valid until packing completes.
+  std::size_t prepare(util::MatrixView<const T> a,
+                      std::size_t tile_rows = kTileRows) {
+    src_ = a;
     rows_ = a.rows();
     depth_ = a.cols();
     tile_rows_ = tile_rows;
     tiles_ = (rows_ + tile_rows_ - 1) / tile_rows_;
-    store_.reset(tiles_ * tile_rows_ * depth_);
-    auto pack_tile = [this, &a](std::size_t t) {
-      T* tile = store_.data() + t * tile_rows_ * depth_;
-      const std::size_t r0 = t * tile_rows_;
-      const std::size_t nr = std::min(tile_rows_, rows_ - r0);
-      // Tile is column-major: element (r, j) at tile[j * tile_rows + r].
-      for (std::size_t j = 0; j < depth_; ++j) {
-        for (std::size_t r = 0; r < nr; ++r) tile[j * tile_rows_ + r] = a(r0 + r, j);
-        for (std::size_t r = nr; r < tile_rows_; ++r) tile[j * tile_rows_ + r] = T{};
-      }
-    };
+    store_.resize_for_overwrite(tiles_ * tile_rows_ * depth_);
+    return tiles_;
+  }
+
+  /// Packs tile t from the view given to prepare(). Tiles are independent;
+  /// distinct tiles may be packed concurrently.
+  void pack_tile(std::size_t t) {
+    T* tile = store_.data() + t * tile_rows_ * depth_;
+    const std::size_t r0 = t * tile_rows_;
+    const std::size_t nr = std::min(tile_rows_, rows_ - r0);
+    // Tile is column-major: element (r, j) at tile[j * tile_rows + r].
+    for (std::size_t j = 0; j < depth_; ++j) {
+      for (std::size_t r = 0; r < nr; ++r)
+        tile[j * tile_rows_ + r] = src_(r0 + r, j);
+      for (std::size_t r = nr; r < tile_rows_; ++r)
+        tile[j * tile_rows_ + r] = T{};
+    }
+  }
+
+  /// Packs `a` (rows x k). tile_rows defaults to the Basic Kernel 2 blocking.
+  void pack(util::MatrixView<const T> a, std::size_t tile_rows = kTileRows,
+            util::ThreadPool* pool = nullptr) {
+    prepare(a, tile_rows);
     if (pool != nullptr) {
-      pool->parallel_for(tiles_, pack_tile);
+      pool->parallel_for(tiles_, [this](std::size_t t) { pack_tile(t); });
     } else {
       for (std::size_t t = 0; t < tiles_; ++t) pack_tile(t);
     }
@@ -82,6 +103,7 @@ class PackedA {
 
  private:
   std::size_t rows_ = 0, depth_ = 0, tile_rows_ = kTileRows, tiles_ = 0;
+  util::MatrixView<const T> src_;
   util::AlignedBuffer<T> store_;
 };
 
@@ -91,25 +113,36 @@ class PackedB {
  public:
   PackedB() = default;
 
-  void pack(util::MatrixView<const T> b, std::size_t tile_cols = kTileCols,
-            util::ThreadPool* pool = nullptr) {
+  /// Two-phase API, mirroring PackedA. Returns the tile count.
+  std::size_t prepare(util::MatrixView<const T> b,
+                      std::size_t tile_cols = kTileCols) {
+    src_ = b;
     depth_ = b.rows();
     cols_ = b.cols();
     tile_cols_ = tile_cols;
     tiles_ = (cols_ + tile_cols_ - 1) / tile_cols_;
-    store_.reset(tiles_ * tile_cols_ * depth_);
-    auto pack_tile = [this, &b](std::size_t t) {
-      T* tile = store_.data() + t * tile_cols_ * depth_;
-      const std::size_t c0 = t * tile_cols_;
-      const std::size_t nc = std::min(tile_cols_, cols_ - c0);
-      // Tile is row-major: element (j, c) at tile[j * tile_cols + c].
-      for (std::size_t j = 0; j < depth_; ++j) {
-        for (std::size_t c = 0; c < nc; ++c) tile[j * tile_cols_ + c] = b(j, c0 + c);
-        for (std::size_t c = nc; c < tile_cols_; ++c) tile[j * tile_cols_ + c] = T{};
-      }
-    };
+    store_.resize_for_overwrite(tiles_ * tile_cols_ * depth_);
+    return tiles_;
+  }
+
+  void pack_tile(std::size_t t) {
+    T* tile = store_.data() + t * tile_cols_ * depth_;
+    const std::size_t c0 = t * tile_cols_;
+    const std::size_t nc = std::min(tile_cols_, cols_ - c0);
+    // Tile is row-major: element (j, c) at tile[j * tile_cols + c].
+    for (std::size_t j = 0; j < depth_; ++j) {
+      for (std::size_t c = 0; c < nc; ++c)
+        tile[j * tile_cols_ + c] = src_(j, c0 + c);
+      for (std::size_t c = nc; c < tile_cols_; ++c)
+        tile[j * tile_cols_ + c] = T{};
+    }
+  }
+
+  void pack(util::MatrixView<const T> b, std::size_t tile_cols = kTileCols,
+            util::ThreadPool* pool = nullptr) {
+    prepare(b, tile_cols);
     if (pool != nullptr) {
-      pool->parallel_for(tiles_, pack_tile);
+      pool->parallel_for(tiles_, [this](std::size_t t) { pack_tile(t); });
     } else {
       for (std::size_t t = 0; t < tiles_; ++t) pack_tile(t);
     }
@@ -130,6 +163,7 @@ class PackedB {
 
  private:
   std::size_t depth_ = 0, cols_ = 0, tile_cols_ = kTileCols, tiles_ = 0;
+  util::MatrixView<const T> src_;
   util::AlignedBuffer<T> store_;
 };
 

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "blas/gemm_tiled.h"
-#include "blas/pack.h"
+#include "blas/pack_cache.h"
 #include "core/tile_grid.h"
 #include "pci/queue.h"
 
@@ -23,8 +23,10 @@ using util::MatrixView;
 struct TileRequest {
   std::size_t tile_index = 0;
   std::size_t rows = 0, cols = 0, depth = 0;
-  blas::PackedA<double> a;
-  blas::PackedB<double> b;
+  // Shared packed panels: one A row-panel serves every tile of its grid
+  // row, one B column-panel every tile of its grid column (pack cache).
+  std::shared_ptr<const blas::PackedA<double>> a;
+  std::shared_ptr<const blas::PackedB<double>> b;
 };
 
 /// The result tile coming back (step 7-9): the product block, to be
@@ -60,7 +62,7 @@ FunctionalOffloadStats offload_gemm_functional(
         res.tile_index = req->tile_index;
         res.product = std::make_unique<Matrix<double>>(req->rows, req->cols);
         res.product->fill(0.0);
-        blas::outer_product_packed<double>(1.0, req->a, req->b, 0.0,
+        blas::outer_product_packed<double>(1.0, *req->a, *req->b, 0.0,
                                            res.product->view());
         cards_tiles.fetch_add(1, std::memory_order_relaxed);
         results.enqueue(std::move(res));
@@ -96,7 +98,10 @@ FunctionalOffloadStats offload_gemm_functional(
   }
 
   // Main thread plays the designated pack/DMA cores: steal from the front,
-  // pack operands into the Knights Corner format, enqueue.
+  // pack operands into the Knights Corner format, enqueue. The cache bounds
+  // live packs to a few panels beyond the tiles in flight; a grid row's
+  // A panel and a grid column's B panel are each packed exactly once.
+  blas::PackCache<double> packs(2 * grid.row_tiles() + 2 * grid.col_tiles());
   std::size_t sent = 0;
   while (auto idx = grid.steal_front()) {
     const Tile& t = grid.tile(*idx);
@@ -105,8 +110,8 @@ FunctionalOffloadStats offload_gemm_functional(
     req.rows = t.rows;
     req.cols = t.cols;
     req.depth = k;
-    req.a.pack(a.block(t.r0, 0, t.rows, k));
-    req.b.pack(b.block(0, t.c0, k, t.cols));
+    req.a = packs.get_a(a.block(t.r0, 0, t.rows, k));
+    req.b = packs.get_b(b.block(0, t.c0, k, t.cols));
     requests.enqueue(std::move(req));
     ++sent;
   }
@@ -121,6 +126,8 @@ FunctionalOffloadStats offload_gemm_functional(
 
   stats.tiles_cards = cards_tiles.load();
   stats.tiles_host = host_tiles.load();
+  stats.pack_hits = packs.hits();
+  stats.pack_misses = packs.misses();
   return stats;
 }
 

@@ -28,6 +28,10 @@ struct FunctionalOffloadStats {
   std::size_t tiles_total = 0;
   std::size_t tiles_cards = 0;
   std::size_t tiles_host = 0;
+  // Operand-pack reuse: tiles in one grid row share a packed A row-panel,
+  // tiles in one grid column share a packed B column-panel (pack cache).
+  std::size_t pack_hits = 0;
+  std::size_t pack_misses = 0;
 };
 
 /// C (m x n) += alpha * A (m x k) * B (k x n), executed with the offload

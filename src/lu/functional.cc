@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "blas/lu_kernels.h"
+#include "blas/pack_cache.h"
 #include "blas/residual.h"
 #include "lu/dag.h"
 #include "util/rng.h"
@@ -21,6 +23,10 @@ struct Shared {
   std::span<std::size_t> ipiv;
   std::size_t nb;
   PanelDag* dag;
+  // Every update task of stage i multiplies against the same L21 panel; the
+  // cache (keyed by stage) packs it once per stage instead of once per task.
+  // A handful of entries suffices: look-ahead keeps only a few stages live.
+  blas::PackCache<double> packs{8};
   std::atomic<bool> failed{false};
 };
 
@@ -51,11 +57,17 @@ void execute_task(const Task& task, Shared& sh) {
     auto l11 = sh.a.block(r0, r0, iw, iw);
     auto u = sh.a.block(r0, c0, iw, jw);
     blas::trsm_left_lower_unit<double>(l11, u);
-    // Trailing update: A22 -= L21 * U12.
+    // Trailing update: A22 -= L21 * U12, as a single rank-iw outer product
+    // over packed operands. L21 is identical for every panel of this stage,
+    // so it comes from the stage-tagged pack cache; U12 is task-private (its
+    // pack buffer is thread-local to amortize allocations across tasks).
     if (n > r0 + iw) {
       auto l21 = sh.a.block(r0 + iw, r0, n - r0 - iw, iw);
       auto a22 = sh.a.block(r0 + iw, c0, n - r0 - iw, jw);
-      blas::gemm_tiled<double>(-1.0, l21, u, 1.0, a22, /*chunk_k=*/iw);
+      const auto pl21 = sh.packs.get_a(l21, /*tag=*/task.stage);
+      thread_local blas::PackedB<double> pu;
+      pu.pack(u);
+      blas::outer_product_packed<double>(-1.0, *pl21, pu, 1.0, a22);
     }
   }
 }
@@ -75,7 +87,7 @@ void worker_loop(Shared& sh) {
 }  // namespace
 
 bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
-                   std::size_t nb, int workers) {
+                   std::size_t nb, int workers, DagLuPackStats* pack_stats) {
   const std::size_t n = a.rows();
   const std::size_t num_panels = (n + nb - 1) / nb;
   PanelDag dag(num_panels);
@@ -87,6 +99,8 @@ bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
     threads.emplace_back([&sh] { worker_loop(sh); });
   worker_loop(sh);
   for (auto& th : threads) th.join();
+  if (pack_stats != nullptr)
+    *pack_stats = {sh.packs.hits(), sh.packs.misses()};
   if (sh.failed.load()) return false;
 
   // Post-pass: apply each stage's interchanges to the L panels on its left,
@@ -115,7 +129,12 @@ FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
   std::vector<std::size_t> ipiv(n);
 
   FunctionalLuResult res;
-  if (!dag_lu_factor(a.view(), ipiv, nb, workers)) return res;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool factored = dag_lu_factor(a.view(), ipiv, nb, workers, &res.pack);
+  res.factor_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!factored) return res;
   blas::lu_solve_vector<double>(a.view(), ipiv, x);
   res.residual = blas::hpl_residual<double>(orig.view(), x, b);
   res.ok = res.residual < blas::kHplResidualThreshold;

@@ -15,15 +15,26 @@
 
 namespace xphi::lu {
 
+/// Operand-pack reuse counters for one factorization (see blas/pack_cache.h:
+/// every update task of a stage shares the stage's packed L21 panel).
+struct DagLuPackStats {
+  std::size_t pack_hits = 0;
+  std::size_t pack_misses = 0;
+};
+
 /// Factors `a` in place with the dynamic DAG scheduler on `workers` real
 /// threads. ipiv receives absolute row interchanges (LAPACK style). Returns
-/// false on a zero pivot.
+/// false on a zero pivot. `pack_stats`, when given, receives the trailing
+/// update's PackCache hit/miss counts.
 bool dag_lu_factor(util::MatrixView<double> a, std::span<std::size_t> ipiv,
-                   std::size_t nb, int workers);
+                   std::size_t nb, int workers,
+                   DagLuPackStats* pack_stats = nullptr);
 
 struct FunctionalLuResult {
   bool ok = false;
   double residual = 0;  // scaled HPL residual of the solve
+  double factor_seconds = 0;  // wall-clock of the DAG factorization
+  DagLuPackStats pack;  // operand-pack reuse across update tasks
 };
 
 /// End-to-end: generate the HPL matrix of size n, factor with the DAG

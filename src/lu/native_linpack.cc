@@ -14,6 +14,11 @@ NativeLinpackReport run_native_linpack(std::size_t n_functional,
       options.functional_nb != 0 ? options.functional_nb : options.nb;
   report.functional =
       run_functional_dag_lu(n_functional, fnb, options.workers, options.seed);
+  if (report.functional.factor_seconds > 0) {
+    const double nd = static_cast<double>(n_functional);
+    report.functional_factor_gflops =
+        (2.0 / 3.0) * nd * nd * nd / report.functional.factor_seconds / 1e9;
+  }
   NativeLuConfig cfg;
   cfg.n = n_projected;
   cfg.nb = options.nb;

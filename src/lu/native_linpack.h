@@ -29,6 +29,9 @@ struct NativeLinpackOptions {
 struct NativeLinpackReport {
   /// Residual-checked functional run at `n_functional`.
   FunctionalLuResult functional;
+  /// Measured GF/s of the functional factorization (2/3·n³ over the timed
+  /// DAG factor); 0 when the run was too fast to time.
+  double functional_factor_gflops = 0;
   /// Modeled Knights Corner performance at `n_projected`.
   NativeLuResult projected;
 };

@@ -36,36 +36,55 @@ class AlignedBuffer {
 
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        size_(std::exchange(other.size_, 0)) {}
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       release();
       data_ = std::exchange(other.data_, nullptr);
       size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
     }
     return *this;
   }
 
   ~AlignedBuffer() { release(); }
 
-  /// Reallocates to hold `count` value-initialized elements.
+  /// Resizes to `count` value-initialized elements, reusing the existing
+  /// allocation when it is large enough. reset(0) releases the storage.
   void reset(std::size_t count) {
-    release();
-    if (count == 0) return;
-    const std::size_t bytes =
-        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
-        kCacheLineBytes;
-    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
-    if (p == nullptr) throw std::bad_alloc{};
-    data_ = static_cast<T*>(p);
-    size_ = count;
+    resize_for_overwrite(count);
     for (std::size_t i = 0; i < count; ++i) data_[i] = T{};
+  }
+
+  /// Resizes to `count` elements with *unspecified* contents, growing the
+  /// allocation only when the current capacity is too small. This is the
+  /// repack fast path: the packing routines overwrite every element
+  /// (including edge-tile padding), so zero-initializing here would stream
+  /// the whole buffer through memory one extra time per rank-k chunk.
+  void resize_for_overwrite(std::size_t count) {
+    if (count == 0) {
+      release();
+      return;
+    }
+    if (count > capacity_) {
+      release();
+      const std::size_t bytes =
+          ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+          kCacheLineBytes;
+      void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+      if (p == nullptr) throw std::bad_alloc{};
+      data_ = static_cast<T*>(p);
+      capacity_ = count;
+    }
+    size_ = count;
   }
 
   T* data() noexcept { return data_; }
   const T* data() const noexcept { return data_; }
   std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
   bool empty() const noexcept { return size_ == 0; }
 
   T& operator[](std::size_t i) noexcept { return data_[i]; }
@@ -81,10 +100,12 @@ class AlignedBuffer {
     std::free(data_);
     data_ = nullptr;
     size_ = 0;
+    capacity_ = 0;
   }
 
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 }  // namespace xphi::util

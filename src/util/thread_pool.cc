@@ -1,7 +1,6 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace xphi::util {
 
@@ -24,15 +23,17 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(std::size_t index) {
   std::uint64_t seen = 0;
   for (;;) {
-    std::function<void(std::size_t)> fn;
+    RawFn fn;
+    void* ctx;
     {
       std::unique_lock lk(mu_);
-      cv_start_.wait(lk, [&] { return stop_ || job_.epoch > seen; });
-      if (stop_ && job_.epoch <= seen) return;
-      seen = job_.epoch;
-      fn = job_.fn;
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ > seen; });
+      if (stop_ && epoch_ <= seen) return;
+      seen = epoch_;
+      fn = fn_;
+      ctx = ctx_;
     }
-    fn(index);
+    fn(ctx, index);
     {
       std::lock_guard lk(mu_);
       if (--pending_ == 0) cv_done_.notify_all();
@@ -40,38 +41,27 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
-void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+void ThreadPool::dispatch(RawFn fn, void* ctx, bool include_caller) {
   {
     std::lock_guard lk(mu_);
-    job_.fn = body;
-    job_.epoch = ++epoch_;
+    fn_ = fn;
+    ctx_ = ctx;
+    ++epoch_;
     pending_ = workers_.size();
   }
   cv_start_.notify_all();
+  if (include_caller) fn(ctx, workers_.size());
   std::unique_lock lk(mu_);
   cv_done_.wait(lk, [&] { return pending_ == 0; });
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
-  const std::size_t participants = workers_.size() + 1;  // workers + caller
-  const std::size_t chunk = (count + participants - 1) / participants;
-  auto run_range = [&](std::size_t part) {
-    const std::size_t lo = std::min(count, part * chunk);
-    const std::size_t hi = std::min(count, lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  };
-  {
-    std::lock_guard lk(mu_);
-    job_.fn = run_range;
-    job_.epoch = ++epoch_;
-    pending_ = workers_.size();
-  }
-  cv_start_.notify_all();
-  run_range(workers_.size());  // caller works its own block concurrently
-  std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [&] { return pending_ == 0; });
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+  dispatch(
+      [](void* ctx, std::size_t part) {
+        (*static_cast<const std::function<void(std::size_t)>*>(ctx))(part);
+      },
+      const_cast<std::function<void(std::size_t)>*>(&body),
+      /*include_caller=*/false);
 }
 
 }  // namespace xphi::util

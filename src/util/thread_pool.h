@@ -4,17 +4,28 @@
 // but the functional GEMM/LU executors need real shared-memory parallelism to
 // validate that the paper's scheduling protocols (DAG array, master-thread
 // task acquisition, work stealing) are race-free. The pool is deliberately
-// simple: persistent workers, a parallel_for with block distribution, and a
-// run_on_all that hands each worker its index (the LU executors build the
-// paper's thread-group structure on top of that).
+// simple: persistent workers, a parallel_for, and a run_on_all that hands
+// each worker its index (the LU executors build the paper's thread-group
+// structure on top of that).
+//
+// parallel_for is *dynamically scheduled*: participants claim chunks of
+// `grain` consecutive indices from a shared atomic counter, so ragged edge
+// tiles and heterogeneous task costs do not serialize on the slowest static
+// block (the same reason the paper's LU scheduler moved from static
+// look-ahead to dynamic DAG scheduling, Section IV). Tiny index counts fall
+// back to the contiguous block split, which has no claiming traffic at all.
+// Dispatch passes a raw function pointer + context to the workers instead of
+// re-wrapping the body in a fresh std::function (no per-call allocation).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace xphi::util {
@@ -30,19 +41,62 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Runs body(i) for i in [0, count) distributed in contiguous blocks across
-  /// all workers plus the calling thread. Blocks until complete.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+  /// Runs body(i) for i in [0, count) across all workers plus the calling
+  /// thread; blocks until complete. Indices are claimed dynamically in chunks
+  /// of `grain` (0 = pick a grain from count and pool width); counts too
+  /// small to amortize the claiming traffic use a static block split.
+  template <class Body>
+  void parallel_for(std::size_t count, Body&& body, std::size_t grain = 0) {
+    if (count == 0) return;
+    const std::size_t participants = size() + 1;
+    if (count == 1) {
+      body(0);
+      return;
+    }
+    using BodyT = std::remove_reference_t<Body>;
+    // Static block split when each participant gets at most ~2 indices:
+    // dynamic claiming can't beat one contiguous block per thread there.
+    const bool dynamic = count > 2 * participants;
+    if (grain == 0) {
+      grain = dynamic ? std::max<std::size_t>(1, count / (4 * participants)) : 1;
+    }
+    struct State {
+      BodyT* body;
+      std::atomic<std::size_t> next;
+      std::size_t count, grain, block;
+      bool dynamic;
+    } st{&body, {0}, count, grain,
+         (count + participants - 1) / participants, dynamic};
+    dispatch(
+        [](void* ctx, std::size_t part) {
+          auto* s = static_cast<State*>(ctx);
+          if (s->dynamic) {
+            for (;;) {
+              const std::size_t lo =
+                  s->next.fetch_add(s->grain, std::memory_order_relaxed);
+              if (lo >= s->count) return;
+              const std::size_t hi = std::min(s->count, lo + s->grain);
+              for (std::size_t i = lo; i < hi; ++i) (*s->body)(i);
+            }
+          } else {
+            const std::size_t lo = std::min(s->count, part * s->block);
+            const std::size_t hi = std::min(s->count, lo + s->block);
+            for (std::size_t i = lo; i < hi; ++i) (*s->body)(i);
+          }
+        },
+        &st, /*include_caller=*/true);
+  }
 
-  /// Runs body(worker_index) once on every worker (and index size() on the
-  /// calling thread if include_caller). Blocks until complete.
+  /// Runs body(worker_index) once on every worker. Blocks until complete.
   void run_on_all(const std::function<void(std::size_t)>& body);
 
  private:
-  struct Job {
-    std::function<void(std::size_t)> fn;  // receives worker index
-    std::uint64_t epoch = 0;
-  };
+  /// Raw dispatch primitive: runs fn(ctx, participant) on every worker
+  /// (participant = worker index) and, if include_caller, on the calling
+  /// thread with participant == size(). Blocks until all are done; `ctx`
+  /// only needs to outlive the call.
+  using RawFn = void (*)(void* ctx, std::size_t participant);
+  void dispatch(RawFn fn, void* ctx, bool include_caller);
 
   void worker_loop(std::size_t index);
 
@@ -50,7 +104,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  Job job_;
+  RawFn fn_ = nullptr;
+  void* ctx_ = nullptr;
   std::uint64_t epoch_ = 0;
   std::size_t pending_ = 0;
   bool stop_ = false;

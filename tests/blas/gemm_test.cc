@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
@@ -180,6 +181,70 @@ TEST(GemmColMajor, AccumulatesWithBeta) {
                               c.data(), m, 4);
   // Each entry: 1*Sum(0.5*2.0, k terms) + 3*1 = 4 + 3.
   for (double v : c) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+// Edge shapes through the fast/masked kernel split: the full-tile fast path
+// must engage only on interior 30x8 tiles, the masked path on everything
+// else, and both must agree with the reference.
+TEST(GemmKernelSplit, ShapesNotMultiplesOfTileDims) {
+  // M % 30 != 0 and N % 8 != 0: every boundary tile takes the masked path,
+  // all interior tiles the fast path.
+  expect_gemm_matches_ref<double>(61, 17, 40, 1.0, 0.0, 40);
+  expect_gemm_matches_ref<double>(92, 25, 33, -1.0, 1.0, 16);
+}
+
+TEST(GemmKernelSplit, SmallerThanOneTile) {
+  // M < 30 and/or N < 8: no full tile exists, the fast path must never run.
+  expect_gemm_matches_ref<double>(7, 3, 20, 1.0, 0.0, 20);
+  expect_gemm_matches_ref<double>(29, 8, 12, 1.0, 1.0, 12);   // N exact, M short
+  expect_gemm_matches_ref<double>(30, 7, 12, 2.0, 0.5, 12);   // M exact, N short
+}
+
+TEST(GemmKernelSplit, RankOneUpdate) {
+  // k = 1 exercises the degenerate accumulation depth on both paths.
+  expect_gemm_matches_ref<double>(60, 16, 1, 1.0, 0.0, 1);
+  expect_gemm_matches_ref<double>(47, 13, 1, -2.0, 1.0, 1);
+}
+
+TEST(GemmKernelSplit, BetaZeroVersusAccumulate) {
+  // Same inputs, beta = 0 (overwrite) vs beta = 1 (accumulate), both
+  // against the reference — catches a fast path that drops the C term or
+  // applies beta to later k-chunks.
+  for (const double beta : {0.0, 1.0}) {
+    expect_gemm_matches_ref<double>(60, 16, 90, 1.0, beta, 30);
+    expect_gemm_matches_ref<double>(45, 11, 90, 1.0, beta, 30);
+  }
+}
+
+TEST(GemmKernelSplit, FullTileFastPathMatchesMaskedBitwise) {
+  // On an interior tile the fast path must produce bit-identical results to
+  // the masked path (same per-element accumulation order).
+  Matrix<double> a(30, 57), b(57, 8);
+  util::fill_hpl_matrix(a.view(), 41);
+  util::fill_hpl_matrix(b.view(), 42);
+  PackedA<double> pa;
+  PackedB<double> pb;
+  pa.pack(a.view());
+  pb.pack(b.view());
+  Matrix<double> c_fast(30, 8), c_masked(30, 8);
+  c_fast.fill(0.25);
+  c_masked.fill(0.25);
+  micro_kernel_full<double, kTileRows, kTileCols, kMicroRows>(
+      pa.tile(0), pb.tile(0), 57, -1.5, 0.75, c_fast.data(), c_fast.ld());
+  micro_kernel_masked<double>(pa.tile(0), pb.tile(0), 57, -1.5, 0.75,
+                              c_masked.data(), c_masked.ld(), 30, 8);
+  EXPECT_EQ(std::memcmp(c_fast.data(), c_masked.data(),
+                        30 * 8 * sizeof(double)),
+            0);
+}
+
+TEST(GemmTiled, PooledMultiChunkDoubleBuffering) {
+  // Several k-chunks with a pool: the fused dispatch packs chunk i+1 while
+  // chunk i's outer products run; results must match the reference exactly
+  // as in the serial case.
+  util::ThreadPool pool(4);
+  expect_gemm_matches_ref<double>(95, 37, 250, 1.0, 1.0, 48, &pool);
+  expect_gemm_matches_ref<double>(64, 24, 101, -1.0, 0.0, 25, &pool);
 }
 
 // Parameterized shape sweep: the tiled GEMM must agree with the reference on

@@ -1,0 +1,110 @@
+#include "blas/pack_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace xphi::blas {
+namespace {
+
+using util::Matrix;
+
+TEST(PackCache, SameBlockPacksOnce) {
+  Matrix<double> a(95, 16);
+  util::fill_hpl_matrix(a.view(), 1);
+  PackCache<double> cache;
+  const auto p1 = cache.get_a(a.view());
+  const auto p2 = cache.get_a(a.view());
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PackCache, PackedContentMatchesDirectPack) {
+  Matrix<double> a(63, 11), b(11, 37);
+  util::fill_hpl_matrix(a.view(), 2);
+  util::fill_hpl_matrix(b.view(), 3);
+  PackCache<double> cache;
+  const auto pa = cache.get_a(a.view());
+  const auto pb = cache.get_b(b.view());
+  PackedA<double> ra;
+  PackedB<double> rb;
+  ra.pack(a.view());
+  rb.pack(b.view());
+  ASSERT_EQ(pa->tiles(), ra.tiles());
+  for (std::size_t t = 0; t < ra.tiles(); ++t)
+    EXPECT_EQ(std::memcmp(pa->tile(t), ra.tile(t),
+                          kTileRows * 11 * sizeof(double)),
+              0);
+  ASSERT_EQ(pb->tiles(), rb.tiles());
+  for (std::size_t t = 0; t < rb.tiles(); ++t)
+    EXPECT_EQ(std::memcmp(pb->tile(t), rb.tile(t),
+                          kTileCols * 11 * sizeof(double)),
+              0);
+}
+
+TEST(PackCache, DistinctBlocksAndShapesAreDistinctEntries) {
+  Matrix<double> m(60, 60);
+  util::fill_hpl_matrix(m.view(), 4);
+  PackCache<double> cache;
+  const auto p1 = cache.get_a(m.block(0, 0, 30, 10));
+  const auto p2 = cache.get_a(m.block(30, 0, 30, 10));  // different origin
+  const auto p3 = cache.get_a(m.block(0, 0, 30, 20));   // different shape
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PackCache, TagScopesTheKeyInTime) {
+  // The LU executor keys the stage into the tag: same memory, new values.
+  Matrix<double> a(30, 8);
+  util::fill_hpl_matrix(a.view(), 5);
+  PackCache<double> cache;
+  const auto before = cache.get_a(a.view(), /*tag=*/1);
+  a(0, 0) = 1234.5;
+  const auto stale = cache.get_a(a.view(), /*tag=*/1);
+  const auto fresh = cache.get_a(a.view(), /*tag=*/2);
+  EXPECT_EQ(before.get(), stale.get());  // same tag: memoized
+  EXPECT_NE(before.get(), fresh.get());
+  EXPECT_EQ(fresh->tile(0)[0], 1234.5);
+}
+
+TEST(PackCache, EvictionIsBoundedAndSafeForOutstandingRefs) {
+  Matrix<double> m(30, 200);
+  util::fill_hpl_matrix(m.view(), 6);
+  PackCache<double> cache(/*max_entries=*/2);
+  const auto keep = cache.get_a(m.block(0, 0, 30, 4));
+  for (std::size_t c = 0; c < 20; ++c)
+    (void)cache.get_a(m.block(0, c * 8, 30, 8));
+  EXPECT_LE(cache.entries(), 2u);
+  // The evicted entry is still alive through our reference.
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t r = 0; r < 30; ++r)
+      EXPECT_EQ(keep->tile(0)[j * 30 + r], m(r, j));
+  // Re-requesting an evicted block repacks (miss, not stale hit).
+  const std::size_t misses_before = cache.misses();
+  (void)cache.get_a(m.block(0, 0, 30, 4));
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(PackCache, ConcurrentGetsPackOnceAndAgree) {
+  Matrix<double> a(123, 19);
+  util::fill_hpl_matrix(a.view(), 7);
+  PackCache<double> cache;
+  util::ThreadPool pool(4);
+  std::vector<std::shared_ptr<const PackedA<double>>> got(32);
+  pool.parallel_for(got.size(),
+                    [&](std::size_t i) { got[i] = cache.get_a(a.view()); });
+  for (const auto& p : got) EXPECT_EQ(p.get(), got[0].get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), got.size() - 1);
+}
+
+}  // namespace
+}  // namespace xphi::blas

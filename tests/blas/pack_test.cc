@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "util/rng.h"
 
 namespace xphi::blas {
@@ -113,6 +115,76 @@ TEST(Pack, ParallelPackMatchesSerial) {
   for (std::size_t t = 0; t < bs.tiles(); ++t)
     for (std::size_t i = 0; i < kTileCols * 40; ++i)
       ASSERT_EQ(bs.tile(t)[i], bp.tile(t)[i]);
+}
+
+TEST(Pack, FourThreadPoolMatchesSerialIncludingRaggedEdges) {
+  // Regression for the bug where gemm_tiled accepted a pool but packed
+  // serially: the pooled pack must be byte-identical to the serial one,
+  // including the zero padding of ragged edge tiles.
+  util::ThreadPool pool(4);
+  // 317 = 10 full 30-row tiles + a 17-row edge tile.
+  Matrix<double> a(317, 53);
+  util::fill_hpl_matrix(a.view(), 21);
+  PackedA<double> as, ap;
+  as.pack(a.view());
+  ap.pack(a.view(), kTileRows, &pool);
+  ASSERT_EQ(as.tiles(), ap.tiles());
+  ASSERT_EQ(as.tile_height(as.tiles() - 1), 17u);
+  for (std::size_t t = 0; t < as.tiles(); ++t)
+    ASSERT_EQ(std::memcmp(as.tile(t), ap.tile(t),
+                          kTileRows * 53 * sizeof(double)),
+              0)
+        << "A tile " << t;
+
+  // 213 = 26 full 8-column tiles + a 5-column edge tile.
+  Matrix<double> b(53, 213);
+  util::fill_hpl_matrix(b.view(), 22);
+  PackedB<double> bs, bp;
+  bs.pack(b.view());
+  bp.pack(b.view(), kTileCols, &pool);
+  ASSERT_EQ(bs.tiles(), bp.tiles());
+  ASSERT_EQ(bs.tile_width(bs.tiles() - 1), 5u);
+  for (std::size_t t = 0; t < bs.tiles(); ++t)
+    ASSERT_EQ(std::memcmp(bs.tile(t), bp.tile(t),
+                          kTileCols * 53 * sizeof(double)),
+              0)
+        << "B tile " << t;
+}
+
+TEST(Pack, ShrinkingRepackKeepsCorrectValuesAndPadding) {
+  // Pack buffers reuse capacity across pack() calls; a smaller repack must
+  // not leak stale values from the larger previous contents into live tiles
+  // or their zero padding.
+  PackedA<double> pa;
+  Matrix<double> big(95, 40), small(33, 7);
+  util::fill_hpl_matrix(big.view(), 23);
+  util::fill_hpl_matrix(small.view(), 24);
+  pa.pack(big.view());
+  pa.pack(small.view());
+  ASSERT_EQ(pa.tiles(), 2u);
+  for (std::size_t j = 0; j < 7; ++j) {
+    for (std::size_t r = 0; r < 30; ++r)
+      EXPECT_EQ(pa.tile(0)[j * 30 + r], small(r, j));
+    for (std::size_t r = 0; r < 3; ++r)
+      EXPECT_EQ(pa.tile(1)[j * 30 + r], small(30 + r, j));
+    for (std::size_t r = 3; r < 30; ++r)
+      EXPECT_EQ(pa.tile(1)[j * 30 + r], 0.0) << "stale padding";
+  }
+}
+
+TEST(Pack, PreparePackTileEquivalentToPack) {
+  Matrix<double> a(64, 9);
+  util::fill_hpl_matrix(a.view(), 25);
+  PackedA<double> whole, phased;
+  whole.pack(a.view());
+  const std::size_t tiles = phased.prepare(a.view());
+  ASSERT_EQ(tiles, whole.tiles());
+  // Pack tiles in reverse order: per-tile packing is order-independent.
+  for (std::size_t t = tiles; t-- > 0;) phased.pack_tile(t);
+  for (std::size_t t = 0; t < tiles; ++t)
+    EXPECT_EQ(std::memcmp(whole.tile(t), phased.tile(t),
+                          kTileRows * 9 * sizeof(double)),
+              0);
 }
 
 TEST(Pack, RepackReusesObject) {

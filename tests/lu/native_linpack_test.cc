@@ -12,6 +12,12 @@ TEST(NativeLinpack, EndToEndDynamic) {
   const auto report = run_native_linpack(160, 30000, opt);
   EXPECT_TRUE(report.functional.ok);
   EXPECT_NEAR(report.projected.efficiency, 0.79, 0.03);
+  // The functional factor is timed and its panel packs are cache-shared
+  // across that stage's update tasks.
+  EXPECT_GT(report.functional.factor_seconds, 0.0);
+  EXPECT_GT(report.functional_factor_gflops, 0.0);
+  EXPECT_GE(report.functional.pack.pack_hits + report.functional.pack.pack_misses,
+            1u);
 }
 
 TEST(NativeLinpack, StaticSchedulerSelectable) {
