@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <mutex>
 
 #include "blas/gemm_tiled.h"
 #include "blas/lu_kernels.h"
 #include "blas/residual.h"
 #include "net/world.h"
+#include "trace/timeline.h"
 #include "util/rng.h"
 
 namespace xphi::hpl {
@@ -17,16 +20,26 @@ namespace {
 
 using net::Comm;
 using net::Payload;
+using net::Request;
+using trace::SpanKind;
 using util::Matrix;
 using util::MatrixView;
 
-// Message tags, combined with the stage index (stage * kTagStride + tag).
-constexpr int kTagStride = 8;
+// Message tags: each stage owns a kTagStride-wide window
+// (stage * kTagStride + base); the pipelined schemes add the column-subset
+// index to the U-broadcast and swap bases.
+constexpr int kMaxSubsets = 16;
+constexpr int kTagStride = 64;
 constexpr int kTagPanelGather = 0;
 constexpr int kTagPanelBcast = 1;
-constexpr int kTagSwap = 2;
-constexpr int kTagUBcast = 3;
-constexpr int kTagGather = 4;
+constexpr int kTagGather = 2;
+constexpr int kTagUBcast = 8;              // + subset
+constexpr int kTagSwap = 8 + kMaxSubsets;  // + subset
+
+/// Global column range [g0, g1).
+struct ColSpan {
+  std::size_t g0 = 0, g1 = 0;
+};
 
 struct RankContext {
   const BlockCyclic* dist = nullptr;
@@ -34,6 +47,8 @@ struct RankContext {
   const DistributedHplOptions* options = nullptr;
   int prow = 0, pcol = 0;
   Matrix<double> local;  // local block-cyclic share, row-major
+  std::chrono::steady_clock::time_point epoch;
+  std::vector<trace::Span>* spans = nullptr;  // this rank's lane (optional)
 
   std::size_t lrows() const { return dist->local_rows(prow); }
   std::size_t lcols() const { return dist->local_cols(pcol); }
@@ -49,11 +64,52 @@ struct RankContext {
     while (lo < lcols() && dist->global_col(pcol, lo) < g) ++lo;
     return lo;
   }
+
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  }
+  void record(SpanKind kind, double t0) {
+    if (spans != nullptr)
+      spans->push_back(
+          {static_cast<std::size_t>(comm->rank()), kind, t0, now()});
+  }
 };
 
-/// One LU stage on every rank. `panel` and `ipiv` are outputs on all ranks
-/// (the broadcast factored panel, rows indexed by global row - k0).
-void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) {
+/// Local column intervals [lo, hi) covered by the global ranges, in order.
+std::vector<std::pair<std::size_t, std::size_t>> local_intervals(
+    const RankContext& ctx, const std::vector<ColSpan>& ranges) {
+  std::vector<std::pair<std::size_t, std::size_t>> iv;
+  for (const ColSpan& r : ranges) {
+    const std::size_t lo = ctx.local_col_lower_bound(r.g0);
+    const std::size_t hi = ctx.local_col_lower_bound(r.g1);
+    if (hi > lo) iv.emplace_back(lo, hi);
+  }
+  return iv;
+}
+
+/// Packs this rank's rows with global index >= k0 of the pw panel columns:
+/// [count, (global_row, pw values)...].
+Payload pack_panel_rows(const RankContext& ctx, std::size_t k0,
+                        std::size_t pw) {
+  const BlockCyclic& dist = *ctx.dist;
+  const std::size_t lc0 = ctx.local_col_lower_bound(k0);
+  const std::size_t lr0 = ctx.local_row_lower_bound(k0);
+  Payload mine;
+  mine.push_back(static_cast<double>(ctx.lrows() - lr0));
+  for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
+    mine.push_back(static_cast<double>(dist.global_row(ctx.prow, lr)));
+    for (std::size_t c = 0; c < pw; ++c)
+      mine.push_back(ctx.local(lr, lc0 + c));
+  }
+  return mine;
+}
+
+/// Root only: assembles the gathered panel rows for stage bk (own message
+/// plus one per other process row of the panel column), factors it, and
+/// builds the broadcast packet [pw absolute pivots | (n-k0) x pw factors].
+Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
   const BlockCyclic& dist = *ctx.dist;
   Comm& comm = *ctx.comm;
   const Grid& grid = dist.grid();
@@ -61,94 +117,179 @@ void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) 
   const std::size_t nb = dist.nb();
   const std::size_t k0 = bk * nb;
   const std::size_t pw = std::min(nb, n - k0);
-  const int pc = static_cast<int>(bk % grid.q);  // panel process column
-  const int pr = static_cast<int>(bk % grid.p);  // panel process row
+  const int pc = static_cast<int>(bk % grid.q);
+  const int gather_tag = static_cast<int>(bk) * kTagStride + kTagPanelGather;
+
+  Payload assembled((n - k0) * pw, 0.0);
+  auto unpack = [&](const Payload& msg) {
+    std::size_t pos = 0;
+    const std::size_t count = static_cast<std::size_t>(msg[pos++]);
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::size_t g = static_cast<std::size_t>(msg[pos++]);
+      std::copy_n(&msg[pos], pw, &assembled[(g - k0) * pw]);
+      pos += pw;
+    }
+  };
+  const double t_gather = ctx.now();
+  unpack(mine);
+  for (int prow = 0; prow < grid.p; ++prow) {
+    const int src = grid.rank_of(prow, pc);
+    if (src == comm.rank()) continue;
+    unpack(comm.recv(src, gather_tag));
+  }
+  ctx.record(SpanKind::kBroadcast, t_gather);
+
+  const double t_factor = ctx.now();
+  MatrixView<double> panel(assembled.data(), n - k0, pw, pw);
+  std::vector<std::size_t> piv(pw);
+  const bool ok = blas::getrf_panel<double>(panel, piv);
+  assert(ok && "singular panel in distributed HPL");
+  (void)ok;
+  ctx.record(SpanKind::kPanelFactor, t_factor);
+
+  Payload packet;
+  packet.reserve(pw + assembled.size());
+  for (std::size_t t = 0; t < pw; ++t)
+    packet.push_back(static_cast<double>(piv[t] + k0));  // absolute global
+  packet.insert(packet.end(), assembled.begin(), assembled.end());
+  return packet;
+}
+
+/// Blocking panel production for stage bk (the kNone path and stage 0 of
+/// the look-ahead schemes): gather to the stage root, factor there, and
+/// binomial-broadcast the packet to every rank.
+Payload produce_packet_blocking(RankContext& ctx, std::size_t bk) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const std::size_t n = dist.n();
+  const std::size_t nb = dist.nb();
+  const std::size_t k0 = bk * nb;
+  const std::size_t pw = std::min(nb, n - k0);
+  const int pc = static_cast<int>(bk % grid.q);
+  const int pr = static_cast<int>(bk % grid.p);
   const int root = grid.rank_of(pr, pc);
   const int stage_tag = static_cast<int>(bk) * kTagStride;
 
-  // --- 1. Gather the panel (global rows >= k0, panel columns) to root. ---
-  Payload assembled;  // (n - k0) x pw, row-major, indexed by global row - k0
+  Payload packet;
   if (ctx.pcol == pc) {
-    const std::size_t lc0 = ctx.local_col_lower_bound(k0);
-    const std::size_t lr0 = ctx.local_row_lower_bound(k0);
-    Payload mine;
-    mine.push_back(static_cast<double>(ctx.lrows() - lr0));
-    for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
-      mine.push_back(static_cast<double>(dist.global_row(ctx.prow, lr)));
-      for (std::size_t c = 0; c < pw; ++c)
-        mine.push_back(ctx.local(lr, lc0 + c));
-    }
+    Payload mine = pack_panel_rows(ctx, k0, pw);
     if (comm.rank() != root) {
       comm.send(root, stage_tag + kTagPanelGather, std::move(mine));
     } else {
-      assembled.assign((n - k0) * pw, 0.0);
-      auto unpack = [&](const Payload& msg) {
-        std::size_t pos = 0;
-        const std::size_t count = static_cast<std::size_t>(msg[pos++]);
-        for (std::size_t r = 0; r < count; ++r) {
-          const std::size_t g = static_cast<std::size_t>(msg[pos++]);
-          std::copy_n(&msg[pos], pw, &assembled[(g - k0) * pw]);
-          pos += pw;
-        }
-      };
-      unpack(mine);
-      for (int prow = 0; prow < grid.p; ++prow) {
-        const int src = grid.rank_of(prow, pc);
-        if (src == root) continue;
-        unpack(comm.recv(src, stage_tag + kTagPanelGather));
-      }
+      packet = assemble_and_factor(ctx, bk, std::move(mine));
     }
-  }
-
-  // --- 2. Root factors the panel and broadcasts factors + pivots. ---
-  Payload packet;
-  if (comm.rank() == root) {
-    MatrixView<double> panel(assembled.data(), n - k0, pw, pw);
-    std::vector<std::size_t> piv(pw);
-    const bool ok = blas::getrf_panel<double>(panel, piv);
-    assert(ok && "singular panel in distributed HPL");
-    (void)ok;
-    packet.reserve(pw + assembled.size());
-    for (std::size_t t = 0; t < pw; ++t)
-      packet.push_back(static_cast<double>(piv[t] + k0));  // absolute global
-    packet.insert(packet.end(), assembled.begin(), assembled.end());
   }
   std::vector<int> everyone(grid.ranks());
   for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
+  const double t0 = ctx.now();
   packet = comm.bcast(root, everyone, std::move(packet),
                       stage_tag + kTagPanelBcast);
-  const double* ipiv_stage = packet.data();
-  const double* panel_data = packet.data() + pw;
-  for (std::size_t t = 0; t < pw; ++t) ipiv_all.push_back(ipiv_stage[t]);
+  ctx.record(SpanKind::kBroadcast, t0);
+  return packet;
+}
 
-  // --- 3. Write the factored panel back into its owners' local storage. ---
-  if (ctx.pcol == pc) {
-    const std::size_t lc0 = ctx.local_col_lower_bound(k0);
-    const std::size_t lr0 = ctx.local_row_lower_bound(k0);
-    for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
-      const std::size_t g = dist.global_row(ctx.prow, lr);
-      for (std::size_t c = 0; c < pw; ++c)
-        ctx.local(lr, lc0 + c) = panel_data[(g - k0) * pw + c];
+/// Pending look-ahead panel: either the packet itself (the factoring root)
+/// or an irecv Request for it (everyone else).
+struct PanelLaunch {
+  bool have = false;
+  Payload packet;
+  Request req;
+};
+
+/// Look-ahead start of stage nbk's panel: panel-column ranks isend their
+/// rows to the stage root; the root assembles, factors, and isends the
+/// packet to every other rank (flat fan-out — the pipelined broadcast depth
+/// is the simulator's concern, the functional path needs the overlap
+/// structure); everyone else posts an irecv and keeps computing.
+PanelLaunch start_panel(RankContext& ctx, std::size_t nbk) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const std::size_t n = dist.n();
+  const std::size_t nb = dist.nb();
+  const std::size_t nk0 = nbk * nb;
+  const std::size_t npw = std::min(nb, n - nk0);
+  const int npc = static_cast<int>(nbk % grid.q);
+  const int npr = static_cast<int>(nbk % grid.p);
+  const int nroot = grid.rank_of(npr, npc);
+  const int stage_tag = static_cast<int>(nbk) * kTagStride;
+
+  PanelLaunch launch;
+  if (ctx.pcol == npc) {
+    Payload mine = pack_panel_rows(ctx, nk0, npw);
+    if (comm.rank() != nroot) {
+      comm.isend(nroot, stage_tag + kTagPanelGather, std::move(mine));
+    } else {
+      Payload packet = assemble_and_factor(ctx, nbk, std::move(mine));
+      const double t0 = ctx.now();
+      for (int r = 0; r < grid.ranks(); ++r)
+        if (r != comm.rank())
+          comm.isend(r, stage_tag + kTagPanelBcast, packet);
+      ctx.record(SpanKind::kBroadcast, t0);
+      launch.have = true;
+      launch.packet = std::move(packet);
     }
   }
+  if (comm.rank() != nroot)
+    launch.req = comm.irecv(nroot, stage_tag + kTagPanelBcast);
+  return launch;
+}
 
-  // --- 4. Apply the stage's row interchanges to all non-panel columns. ---
-  // Local columns excluded: the pw panel columns on panel-column ranks.
-  const std::size_t excl_lo =
-      ctx.pcol == pc ? ctx.local_col_lower_bound(k0) : ctx.lcols();
-  const std::size_t excl_hi = ctx.pcol == pc ? excl_lo + pw : ctx.lcols();
+Payload finish_panel(RankContext& ctx, PanelLaunch launch) {
+  if (launch.have) return std::move(launch.packet);
+  const double t0 = ctx.now();
+  Payload packet = launch.req.take();
+  ctx.record(SpanKind::kBroadcast, t0);
+  return packet;
+}
+
+/// Writes the factored panel rows back into their owners' local storage.
+void write_back_panel(RankContext& ctx, std::size_t k0, std::size_t pw,
+                      const double* panel_data) {
+  const BlockCyclic& dist = *ctx.dist;
+  const std::size_t lc0 = ctx.local_col_lower_bound(k0);
+  const std::size_t lr0 = ctx.local_row_lower_bound(k0);
+  for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
+    const std::size_t g = dist.global_row(ctx.prow, lr);
+    for (std::size_t c = 0; c < pw; ++c)
+      ctx.local(lr, lc0 + c) = panel_data[(g - k0) * pw + c];
+  }
+}
+
+/// Applies the stage's row interchanges to the local columns covered by
+/// `ranges` (global column spans; the pw panel columns must not be inside
+/// them — they were already swapped during the panel factorization).
+void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
+                      std::size_t k0, std::size_t pw,
+                      const std::vector<ColSpan>& ranges) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const auto iv = local_intervals(ctx, ranges);
+  std::size_t width = 0;
+  for (const auto& [lo, hi] : iv) width += hi - lo;
+  if (width == 0) return;  // consistent across the process column
+
+  const double t0 = ctx.now();
   auto copy_row_segment = [&](std::size_t lr, Payload& out) {
-    for (std::size_t c = 0; c < ctx.lcols(); ++c)
-      if (c < excl_lo || c >= excl_hi) out.push_back(ctx.local(lr, c));
+    for (const auto& [lo, hi] : iv)
+      for (std::size_t c = lo; c < hi; ++c) out.push_back(ctx.local(lr, c));
   };
-  auto write_row_segment = [&](std::size_t lr, const Payload& in) {
+  auto write_row_segment = [&](std::size_t lr, const double* in) {
     std::size_t pos = 0;
-    for (std::size_t c = 0; c < ctx.lcols(); ++c)
-      if (c < excl_lo || c >= excl_hi) ctx.local(lr, c) = in[pos++];
+    for (const auto& [lo, hi] : iv)
+      for (std::size_t c = lo; c < hi; ++c) ctx.local(lr, c) = in[pos++];
   };
-  const SwapAlgorithm swap_alg =
-      ctx.options != nullptr ? ctx.options->swap_algorithm
-                             : SwapAlgorithm::kPairwise;
+  auto swap_local_rows = [&](std::size_t lr1, std::size_t lr2) {
+    for (const auto& [lo, hi] : iv)
+      for (std::size_t c = lo; c < hi; ++c)
+        std::swap(ctx.local(lr1, c), ctx.local(lr2, c));
+  };
+
+  const SwapAlgorithm swap_alg = ctx.options != nullptr
+                                     ? ctx.options->swap_algorithm
+                                     : SwapAlgorithm::kPairwise;
   if (swap_alg == SwapAlgorithm::kPairwise) {
     for (std::size_t t = 0; t < pw; ++t) {
       const std::size_t r1 = k0 + t;
@@ -157,24 +298,18 @@ void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) 
       const int o1 = dist.owner_prow(r1);
       const int o2 = dist.owner_prow(r2);
       if (o1 == o2) {
-        if (ctx.prow == o1) {
-          blas::swap_rows(
-              ctx.local.view(), dist.local_row(r1), dist.local_row(r2));
-          // Undo the unwanted swap of the excluded panel columns (they were
-          // already swapped inside the panel factorization).
-          for (std::size_t c = excl_lo; c < excl_hi; ++c)
-            std::swap(ctx.local(dist.local_row(r1), c),
-                      ctx.local(dist.local_row(r2), c));
-        }
+        if (ctx.prow == o1)
+          swap_local_rows(dist.local_row(r1), dist.local_row(r2));
       } else if (ctx.prow == o1 || ctx.prow == o2) {
         const std::size_t mine = ctx.prow == o1 ? r1 : r2;
         const int partner_prow = ctx.prow == o1 ? o2 : o1;
         const int partner = grid.rank_of(partner_prow, ctx.pcol);
         Payload out;
+        out.reserve(width);
         copy_row_segment(dist.local_row(mine), out);
-        comm.send(partner, stage_tag + kTagSwap, std::move(out));
-        const Payload in = comm.recv(partner, stage_tag + kTagSwap);
-        write_row_segment(dist.local_row(mine), in);
+        comm.send(partner, tag, std::move(out));
+        const Payload in = comm.recv(partner, tag);
+        write_row_segment(dist.local_row(mine), in.data());
       }
     }
   } else {
@@ -190,7 +325,7 @@ void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) 
           involved.push_back(r);
     }
     if (!involved.empty()) {
-      const int root_prow = pr;
+      const int root_prow = static_cast<int>((k0 / dist.nb()) % grid.p);
       const int swap_root = grid.rank_of(root_prow, ctx.pcol);
       // Send my owned involved-row segments to the swap root.
       Payload mine;
@@ -202,22 +337,20 @@ void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) 
         mine.push_back(static_cast<double>(r));
         copy_row_segment(dist.local_row(r), mine);
       }
-      comm.send(swap_root, stage_tag + kTagSwap, std::move(mine));
+      comm.send(swap_root, tag, std::move(mine));
       if (comm.rank() == swap_root) {
         // Collect all segments into row -> contents.
-        const std::size_t seg_len = ctx.lcols() - (excl_hi - excl_lo);
         std::vector<Payload> contents(involved.size());
         for (int prow = 0; prow < grid.p; ++prow) {
-          const Payload msg =
-              comm.recv(grid.rank_of(prow, ctx.pcol), stage_tag + kTagSwap);
+          const Payload msg = comm.recv(grid.rank_of(prow, ctx.pcol), tag);
           std::size_t pos = 0;
           const std::size_t count = static_cast<std::size_t>(msg[pos++]);
           for (std::size_t i = 0; i < count; ++i) {
             const std::size_t r = static_cast<std::size_t>(msg[pos++]);
             const auto it = std::find(involved.begin(), involved.end(), r);
             contents[it - involved.begin()].assign(msg.begin() + pos,
-                                                   msg.begin() + pos + seg_len);
-            pos += seg_len;
+                                                   msg.begin() + pos + width);
+            pos += width;
           }
         }
         // Apply the interchange sequence on the gathered rows.
@@ -244,75 +377,280 @@ void run_stage(RankContext& ctx, std::size_t bk, std::vector<double>& ipiv_all) 
           }
           out.push_back(static_cast<double>(count));
           out.insert(out.end(), body.begin(), body.end());
-          comm.send(grid.rank_of(prow, ctx.pcol), stage_tag + kTagSwap,
-                    std::move(out));
+          comm.send(grid.rank_of(prow, ctx.pcol), tag, std::move(out));
         }
       }
       // Receive my rows' new contents.
-      const Payload back = comm.recv(swap_root, stage_tag + kTagSwap);
+      const Payload back = comm.recv(swap_root, tag);
       std::size_t pos = 0;
       const std::size_t count = static_cast<std::size_t>(back[pos++]);
-      const std::size_t seg_len = ctx.lcols() - (excl_hi - excl_lo);
       for (std::size_t i = 0; i < count; ++i) {
         const std::size_t r = static_cast<std::size_t>(back[pos++]);
-        const Payload seg(back.begin() + pos, back.begin() + pos + seg_len);
-        write_row_segment(dist.local_row(r), seg);
-        pos += seg_len;
+        write_row_segment(dist.local_row(r), &back[pos]);
+        pos += width;
       }
     }
   }
+  ctx.record(SpanKind::kRowSwap, t0);
+}
 
-  if (k0 + pw >= n) return;  // no trailing matrix
+/// One U block in flight: the owning process row holds the solved payload,
+/// everyone else a pending irecv. `lc0`/`width` locate the columns locally.
+struct USlot {
+  bool owner = false;
+  std::size_t lc0 = 0, width = 0;
+  Payload u;
+  Request req;
+};
 
-  // --- 5. U panel: rows k0..k0+pw of the trailing columns. Owner process
-  // row pr solves with L11 and broadcasts down each process column. ---
-  const std::size_t trail_lc0 = ctx.pcol == pc
-                                    ? ctx.local_col_lower_bound(k0) +
-                                          (ctx.pcol == pc ? pw : 0)
-                                    : ctx.local_col_lower_bound(k0 + pw);
-  const std::size_t trail_cols = ctx.lcols() - trail_lc0;
-  Payload u_block;
-  if (trail_cols > 0) {
-    if (ctx.prow == pr) {
-      // This rank owns the U rows: global rows k0..k0+pw map to contiguous
-      // local rows starting at local_row(k0).
-      const std::size_t lr0 = dist.local_row(k0);
-      Matrix<double> u(pw, trail_cols);
-      for (std::size_t r = 0; r < pw; ++r)
-        for (std::size_t c = 0; c < trail_cols; ++c)
-          u(r, c) = ctx.local(lr0 + r, trail_lc0 + c);
-      MatrixView<const double> l11(panel_data, pw, pw, pw);
-      blas::trsm_left_lower_unit<double>(l11, u.view());
-      for (std::size_t r = 0; r < pw; ++r)
-        for (std::size_t c = 0; c < trail_cols; ++c)
-          ctx.local(lr0 + r, trail_lc0 + c) = u(r, c);
-      u_block.assign(u.data(), u.data() + pw * trail_cols);
-    }
-    std::vector<int> col_group;
+/// Pipelined U start for one column subset: the owner row solves
+/// L11 * U = A12 for the subset's columns and isends the result down its
+/// process column; other rows post an irecv. No-op when the subset has no
+/// local columns (consistent across the process column).
+USlot start_u(RankContext& ctx, std::size_t bk, int subset, std::size_t k0,
+              std::size_t pw, const double* panel_data, ColSpan cols) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const int pr = static_cast<int>(bk % grid.p);
+  const int tag = static_cast<int>(bk) * kTagStride + kTagUBcast + subset;
+
+  USlot slot;
+  slot.lc0 = ctx.local_col_lower_bound(cols.g0);
+  slot.width = ctx.local_col_lower_bound(cols.g1) - slot.lc0;
+  slot.owner = ctx.prow == pr;
+  if (slot.width == 0) return slot;
+  if (slot.owner) {
+    const std::size_t lr0 = dist.local_row(k0);
+    const double t0 = ctx.now();
+    Matrix<double> u(pw, slot.width);
+    for (std::size_t r = 0; r < pw; ++r)
+      for (std::size_t c = 0; c < slot.width; ++c)
+        u(r, c) = ctx.local(lr0 + r, slot.lc0 + c);
+    MatrixView<const double> l11(panel_data, pw, pw, pw);
+    blas::trsm_left_lower_unit<double>(l11, u.view());
+    for (std::size_t r = 0; r < pw; ++r)
+      for (std::size_t c = 0; c < slot.width; ++c)
+        ctx.local(lr0 + r, slot.lc0 + c) = u(r, c);
+    ctx.record(SpanKind::kTrsm, t0);
+    slot.u.assign(u.data(), u.data() + pw * slot.width);
+    const double t1 = ctx.now();
     for (int prow = 0; prow < grid.p; ++prow)
-      col_group.push_back(grid.rank_of(prow, ctx.pcol));
-    u_block = comm.bcast(grid.rank_of(pr, ctx.pcol), col_group,
-                         std::move(u_block), stage_tag + kTagUBcast);
+      if (prow != ctx.prow) comm.isend(grid.rank_of(prow, ctx.pcol), tag, slot.u);
+    ctx.record(SpanKind::kBroadcast, t1);
+  } else {
+    slot.req = comm.irecv(grid.rank_of(pr, ctx.pcol), tag);
   }
+  return slot;
+}
 
-  // --- 6. Local trailing update: A22 -= L21 * U. ---
-  const std::size_t lr_trail = ctx.local_row_lower_bound(k0 + pw);
-  const std::size_t m_loc = ctx.lrows() - lr_trail;
-  if (m_loc == 0 || trail_cols == 0) return;
+/// Completes a pipelined U slot: non-owners block on the irecv here (the
+/// recorded kBroadcast span is exactly the exposed transfer time).
+void wait_u(RankContext& ctx, USlot& slot) {
+  if (slot.owner || slot.width == 0) return;
+  const double t0 = ctx.now();
+  slot.u = slot.req.take();
+  ctx.record(SpanKind::kBroadcast, t0);
+}
+
+/// Blocking full-width U solve + binomial broadcast down each process
+/// column (the kNone/kBasic path). Returns a USlot with the payload in hand.
+USlot solve_and_bcast_u(RankContext& ctx, std::size_t bk, std::size_t k0,
+                        std::size_t pw, const double* panel_data,
+                        ColSpan cols) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const int pr = static_cast<int>(bk % grid.p);
+  const int tag = static_cast<int>(bk) * kTagStride + kTagUBcast;
+
+  USlot slot;
+  slot.lc0 = ctx.local_col_lower_bound(cols.g0);
+  slot.width = ctx.local_col_lower_bound(cols.g1) - slot.lc0;
+  slot.owner = true;  // payload in hand after the broadcast below
+  if (slot.width == 0) return slot;
+  if (ctx.prow == pr) {
+    const std::size_t lr0 = dist.local_row(k0);
+    const double t0 = ctx.now();
+    Matrix<double> u(pw, slot.width);
+    for (std::size_t r = 0; r < pw; ++r)
+      for (std::size_t c = 0; c < slot.width; ++c)
+        u(r, c) = ctx.local(lr0 + r, slot.lc0 + c);
+    MatrixView<const double> l11(panel_data, pw, pw, pw);
+    blas::trsm_left_lower_unit<double>(l11, u.view());
+    for (std::size_t r = 0; r < pw; ++r)
+      for (std::size_t c = 0; c < slot.width; ++c)
+        ctx.local(lr0 + r, slot.lc0 + c) = u(r, c);
+    ctx.record(SpanKind::kTrsm, t0);
+    slot.u.assign(u.data(), u.data() + pw * slot.width);
+  }
+  std::vector<int> col_group;
+  for (int prow = 0; prow < grid.p; ++prow)
+    col_group.push_back(grid.rank_of(prow, ctx.pcol));
+  const double t1 = ctx.now();
+  slot.u = comm.bcast(grid.rank_of(pr, ctx.pcol), col_group, std::move(slot.u),
+                      tag);
+  ctx.record(SpanKind::kBroadcast, t1);
+  return slot;
+}
+
+/// L21 rows of the broadcast panel owned by this rank (trailing rows only).
+Matrix<double> build_l21(const RankContext& ctx, std::size_t k0,
+                         std::size_t pw, const double* panel_data,
+                         std::size_t lr_trail, std::size_t m_loc) {
+  const BlockCyclic& dist = *ctx.dist;
   Matrix<double> l21(m_loc, pw);
   for (std::size_t r = 0; r < m_loc; ++r) {
     const std::size_t g = dist.global_row(ctx.prow, lr_trail + r);
     for (std::size_t c = 0; c < pw; ++c)
       l21(r, c) = panel_data[(g - k0) * pw + c];
   }
-  MatrixView<const double> u(u_block.data(), pw, trail_cols, trail_cols);
-  auto a22 = ctx.local.block(lr_trail, trail_lc0, m_loc, trail_cols);
+  return l21;
+}
+
+/// Local trailing update A22 -= L21 * U restricted to the columns of `slot`
+/// that fall inside `cols`. Column subsets accumulate each element over k
+/// in the same order as the full-width update (see gemm_tiled.h), so the
+/// split is bitwise-neutral.
+void update_range(RankContext& ctx, std::size_t pw, const Matrix<double>& l21,
+                  std::size_t lr_trail, std::size_t m_loc, const USlot& slot,
+                  ColSpan cols) {
+  if (m_loc == 0 || slot.width == 0) return;
+  const std::size_t lo = ctx.local_col_lower_bound(cols.g0);
+  const std::size_t hi = ctx.local_col_lower_bound(cols.g1);
+  if (hi <= lo) return;
+  assert(lo >= slot.lc0 && hi <= slot.lc0 + slot.width);
+  const double t0 = ctx.now();
+  MatrixView<const double> u(slot.u.data() + (lo - slot.lc0), pw, hi - lo,
+                             slot.width);
+  auto a22 = ctx.local.block(lr_trail, lo, m_loc, hi - lo);
   if (ctx.options != nullptr && ctx.options->use_offload_engine) {
     core::offload_gemm_functional(-1.0, l21.view(), u, a22,
                                   ctx.options->offload);
   } else {
     blas::gemm_tiled<double>(-1.0, l21.view(), u, 1.0, a22, pw);
   }
+  ctx.record(SpanKind::kGemm, t0);
+}
+
+/// One fully blocking LU stage (Lookahead::kNone — Figure 8a).
+void run_stage_blocking(RankContext& ctx, std::size_t bk,
+                        std::vector<double>& ipiv_all) {
+  const BlockCyclic& dist = *ctx.dist;
+  const std::size_t n = dist.n();
+  const std::size_t nb = dist.nb();
+  const std::size_t k0 = bk * nb;
+  const std::size_t pw = std::min(nb, n - k0);
+  const int pc = static_cast<int>(bk % dist.grid().q);
+  const int stage_tag = static_cast<int>(bk) * kTagStride;
+
+  const Payload packet = produce_packet_blocking(ctx, bk);
+  const double* ipiv_stage = packet.data();
+  const double* panel_data = packet.data() + pw;
+  for (std::size_t t = 0; t < pw; ++t) ipiv_all.push_back(ipiv_stage[t]);
+  if (ctx.pcol == pc) write_back_panel(ctx, k0, pw, panel_data);
+
+  swap_rows_ranges(ctx, stage_tag + kTagSwap, ipiv_stage, k0, pw,
+                   {{0, k0}, {k0 + pw, n}});
+
+  if (k0 + pw >= n) return;  // no trailing matrix
+  const ColSpan trail{k0 + pw, n};
+  const USlot u = solve_and_bcast_u(ctx, bk, k0, pw, panel_data, trail);
+  const std::size_t lr_trail = ctx.local_row_lower_bound(k0 + pw);
+  const std::size_t m_loc = ctx.lrows() - lr_trail;
+  if (m_loc == 0 || u.width == 0) return;
+  const Matrix<double> l21 = build_l21(ctx, k0, pw, panel_data, lr_trail, m_loc);
+  update_range(ctx, pw, l21, lr_trail, m_loc, u, trail);
+}
+
+/// One look-ahead LU stage (kBasic — Figure 8b, kPipelined — Figure 8c).
+/// Consumes this stage's already-factored packet and returns the next
+/// stage's (factored while this stage's trailing update ran).
+Payload run_stage_lookahead(RankContext& ctx, std::size_t bk, Payload packet,
+                            std::vector<double>& ipiv_all) {
+  const BlockCyclic& dist = *ctx.dist;
+  const std::size_t n = dist.n();
+  const std::size_t nb = dist.nb();
+  const std::size_t k0 = bk * nb;
+  const std::size_t pw = std::min(nb, n - k0);
+  const int pc = static_cast<int>(bk % dist.grid().q);
+  const int stage_tag = static_cast<int>(bk) * kTagStride;
+
+  const double* ipiv_stage = packet.data();
+  const double* panel_data = packet.data() + pw;
+  for (std::size_t t = 0; t < pw; ++t) ipiv_all.push_back(ipiv_stage[t]);
+  if (ctx.pcol == pc) write_back_panel(ctx, k0, pw, panel_data);
+
+  const std::size_t trail_g0 = k0 + pw;
+  if (trail_g0 >= n) {
+    // Last stage: still apply the interchanges to the factored left part.
+    swap_rows_ranges(ctx, stage_tag + kTagSwap, ipiv_stage, k0, pw, {{0, k0}});
+    return {};
+  }
+
+  // Column subsets of the trailing matrix. Subset 0 is always the next
+  // panel's columns, so the look-ahead panel can start right after its
+  // update; kPipelined splits the rest into further subsets the swap /
+  // DTRSM / U-broadcast stream over.
+  const std::size_t npw = std::min(nb, n - trail_g0);
+  std::vector<ColSpan> subsets{{trail_g0, trail_g0 + npw}};
+  const std::size_t rest0 = trail_g0 + npw;
+  if (rest0 < n) {
+    std::size_t parts = 1;
+    if (ctx.options->lookahead == Lookahead::kPipelined) {
+      const int want = std::clamp(ctx.options->pipeline_subsets, 1,
+                                  kMaxSubsets) - 1;
+      parts = std::clamp<std::size_t>(want, 1, n - rest0);
+    }
+    for (std::size_t i = 0; i < parts; ++i) {
+      const std::size_t w = n - rest0;
+      const std::size_t lo = rest0 + i * w / parts;
+      const std::size_t hi = rest0 + (i + 1) * w / parts;
+      if (hi > lo) subsets.push_back({lo, hi});
+    }
+  }
+
+  const std::size_t lr_trail = ctx.local_row_lower_bound(trail_g0);
+  const std::size_t m_loc = ctx.lrows() - lr_trail;
+  const Matrix<double> l21 =
+      m_loc > 0 ? build_l21(ctx, k0, pw, panel_data, lr_trail, m_loc)
+                : Matrix<double>();
+
+  PanelLaunch launch;
+  if (ctx.options->lookahead == Lookahead::kBasic) {
+    // Swap and solve U full-width (exposed, like kNone), then update the
+    // next panel's columns, kick off its factorization, and hide it under
+    // the bulk of the trailing update.
+    swap_rows_ranges(ctx, stage_tag + kTagSwap, ipiv_stage, k0, pw,
+                     {{0, k0}, {trail_g0, n}});
+    const USlot u = solve_and_bcast_u(ctx, bk, k0, pw, panel_data,
+                                      {trail_g0, n});
+    update_range(ctx, pw, l21, lr_trail, m_loc, u, subsets[0]);
+    launch = start_panel(ctx, bk + 1);
+    for (std::size_t s = 1; s < subsets.size(); ++s)
+      update_range(ctx, pw, l21, lr_trail, m_loc, u, subsets[s]);
+  } else {
+    // Pipelined: subset s+1's swap and U solve/broadcast are in flight
+    // while subset s's update computes; the first swap also carries the
+    // factored left columns.
+    const std::size_t S = subsets.size();
+    std::vector<USlot> slots(S);
+    swap_rows_ranges(ctx, stage_tag + kTagSwap, ipiv_stage, k0, pw,
+                     {{0, k0}, subsets[0]});
+    slots[0] = start_u(ctx, bk, 0, k0, pw, panel_data, subsets[0]);
+    for (std::size_t s = 0; s < S; ++s) {
+      if (s + 1 < S) {
+        swap_rows_ranges(ctx, stage_tag + kTagSwap + static_cast<int>(s + 1),
+                         ipiv_stage, k0, pw, {subsets[s + 1]});
+        slots[s + 1] = start_u(ctx, bk, static_cast<int>(s + 1), k0, pw,
+                               panel_data, subsets[s + 1]);
+      }
+      wait_u(ctx, slots[s]);
+      update_range(ctx, pw, l21, lr_trail, m_loc, slots[s], subsets[s]);
+      if (s == 0) launch = start_panel(ctx, bk + 1);
+    }
+  }
+  return finish_panel(ctx, std::move(launch));
 }
 
 /// Distributed block triangular solves: given the block-cyclic factors and
@@ -427,6 +765,42 @@ std::vector<double> distributed_solve(RankContext& ctx,
   return x;
 }
 
+/// Distributed HPL residual: every rank regenerates its own entries of the
+/// ORIGINAL matrix from the position-stable generator, contributes partial
+/// row sums of A*x and |A| row norms, and a ring allreduce combines them —
+/// the check the native cluster would run without ever gathering A.
+double compute_distributed_residual(RankContext& ctx,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& b,
+                                    std::uint64_t seed, int tag) {
+  const BlockCyclic& dist = *ctx.dist;
+  const Grid& grid = dist.grid();
+  const std::size_t n = dist.n();
+  Payload acc(2 * n, 0.0);  // [0, n): partial A*x; [n, 2n): partial |A| row sums
+  for (std::size_t lr = 0; lr < ctx.lrows(); ++lr) {
+    const std::size_t gr = dist.global_row(ctx.prow, lr);
+    for (std::size_t lc = 0; lc < ctx.lcols(); ++lc) {
+      const std::size_t gc = dist.global_col(ctx.pcol, lc);
+      const double a = util::hpl_entry(seed, gr, gc);
+      acc[gr] += a * x[gc];
+      acc[n + gr] += std::abs(a);
+    }
+  }
+  std::vector<int> everyone(grid.ranks());
+  for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
+  acc = ctx.comm->allreduce(everyone, std::move(acc), tag);
+  double r_inf = 0, a_inf = 0, x_inf = 0, b_inf = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r_inf = std::max(r_inf, std::abs(acc[i] - b[i]));
+    a_inf = std::max(a_inf, acc[n + i]);
+    x_inf = std::max(x_inf, std::abs(x[i]));
+    b_inf = std::max(b_inf, std::abs(b[i]));
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom = eps * (a_inf * x_inf + b_inf) * static_cast<double>(n);
+  return denom > 0 ? r_inf / denom : r_inf;
+}
+
 }  // namespace
 
 DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
@@ -435,6 +809,13 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
   DistributedHplResult result;
   BlockCyclic dist(n, nb, grid);
   net::World world(grid.ranks());
+  world.set_recv_timeout(options.recv_timeout_seconds);
+  world.set_mailbox_soft_cap(options.mailbox_soft_cap);
+
+  // Per-rank span capture slots (each written only by its own rank thread;
+  // merged into options.timeline after the world joins).
+  std::vector<std::vector<trace::Span>> rank_spans(grid.ranks());
+  const auto epoch = std::chrono::steady_clock::now();
 
   std::mutex result_mu;
   world.run([&](Comm& comm) {
@@ -444,6 +825,8 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
     ctx.options = &options;
     ctx.prow = grid.prow_of(comm.rank());
     ctx.pcol = grid.pcol_of(comm.rank());
+    ctx.epoch = epoch;
+    ctx.spans = options.timeline != nullptr ? &rank_spans[comm.rank()] : nullptr;
     ctx.local = Matrix<double>(ctx.lrows(), ctx.lcols());
     // Fill from the position-stable generator: each rank produces exactly
     // the entries it owns.
@@ -453,8 +836,14 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
                                             dist.global_col(ctx.pcol, lc));
 
     std::vector<double> ipiv_all;
-    for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
-      run_stage(ctx, bk, ipiv_all);
+    if (options.lookahead == Lookahead::kNone) {
+      for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
+        run_stage_blocking(ctx, bk, ipiv_all);
+    } else {
+      Payload packet = produce_packet_blocking(ctx, 0);
+      for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
+        packet = run_stage_lookahead(ctx, bk, std::move(packet), ipiv_all);
+    }
 
     // Distributed solve: permute the replicated right-hand side by the
     // recorded interchanges, then block forward/back substitution.
@@ -467,6 +856,13 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
       if (piv != i) std::swap(b_permuted[i], b_permuted[piv]);
     }
     const std::vector<double> x_dist = distributed_solve(ctx, b_permuted);
+
+    // Distributed residual check (every rank participates and agrees).
+    const int residual_tag =
+        static_cast<int>(dist.num_blocks() + 1) * kTagStride +
+        static_cast<int>(dist.num_blocks()) * 4 + 8;
+    const double dres =
+        compute_distributed_residual(ctx, x_dist, b, seed, residual_tag);
 
     // Gather the factored matrix to rank 0 for validation and solve.
     const int gather_tag =
@@ -515,8 +911,17 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
     result.x = x_dist;
     result.solve_agreement = agreement;
     result.residual = residual;
+    result.distributed_residual = dres;
     result.ok = residual < blas::kHplResidualThreshold;
   });
+
+  result.comm_stats.reserve(grid.ranks());
+  for (int r = 0; r < grid.ranks(); ++r)
+    result.comm_stats.push_back(world.stats(r));
+  if (options.timeline != nullptr)
+    for (const auto& spans : rank_spans)
+      for (const trace::Span& s : spans)
+        options.timeline->record(s.lane, s.kind, s.t0, s.t1);
   return result;
 }
 

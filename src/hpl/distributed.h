@@ -8,6 +8,22 @@
 // updates — and is validated against the sequential blocked factorization
 // and the HPL residual test.
 //
+// The paper's three look-ahead schemes (Section IV, Figure 8) run
+// functionally here, built on net::World's nonblocking layer:
+//   kNone      — fully blocking: each stage gathers, factors, broadcasts,
+//                swaps, solves U and updates in strict order (Figure 8a).
+//   kBasic     — the next panel is gathered, factored and its broadcast
+//                initiated (isend) right after the next-panel columns are
+//                updated, so the factorization overlaps the bulk of the
+//                trailing update; the packet is collected via irecv at the
+//                next stage (Figure 8b).
+//   kPipelined — row swap, DTRSM and U broadcast are additionally streamed
+//                over column subsets: subset s+1's swap and U solve are in
+//                flight while subset s's trailing update computes, and the
+//                update consumes subsets as they land (Figure 8c).
+// All three produce bitwise-identical pivots and factors: the subset split
+// changes no per-element accumulation order anywhere (see gemm_tiled.h).
+//
 // Scope note (documented in DESIGN.md): the panel is gathered to a root rank
 // and factored there rather than factored in place across the process
 // column. This preserves the exact numerics and the full swap/broadcast
@@ -22,7 +38,12 @@
 
 #include "core/offload_functional.h"
 #include "hpl/block_cyclic.h"
+#include "net/world.h"
 #include "util/matrix.h"
+
+namespace xphi::trace {
+class Timeline;
+}
 
 namespace xphi::hpl {
 
@@ -34,6 +55,10 @@ namespace xphi::hpl {
 ///    results back (HPL's "long" swap: one gather + one scatter per stage).
 enum class SwapAlgorithm { kPairwise, kGatherScatter };
 
+/// Look-ahead depth of the factorization schedule — the functional twin of
+/// core::Lookahead (the simulator's cost model for the same three schemes).
+enum class Lookahead { kNone, kBasic, kPipelined };
+
 struct DistributedHplOptions {
   /// When true, each rank's local trailing update runs through the
   /// functional offload engine (card threads + request/response queues +
@@ -42,11 +67,33 @@ struct DistributedHplOptions {
   bool use_offload_engine = false;
   core::FunctionalOffloadConfig offload{};
   SwapAlgorithm swap_algorithm = SwapAlgorithm::kPairwise;
+
+  Lookahead lookahead = Lookahead::kNone;
+  /// Column subsets the pipelined scheme streams swap/DTRSM/U-broadcast
+  /// over (clamped to [1, 16]; subset 0 is always the next panel's columns).
+  int pipeline_subsets = 4;
+
+  /// Optional capture of per-rank compute and communication spans
+  /// (lane = rank; kBroadcast covers panel/U transfers and their waits,
+  /// kRowSwap the pivot exchanges). Filled after the run completes.
+  trace::Timeline* timeline = nullptr;
+
+  /// Receive timeout handed to net::World (seconds; 0 = wait forever).
+  /// A mismatched (src, tag) then surfaces as a diagnostic instead of a
+  /// hung test.
+  double recv_timeout_seconds = 120;
+  /// Mailbox soft cap handed to net::World (0 = off): logs when a rank's
+  /// queue of undelivered messages exceeds it.
+  std::size_t mailbox_soft_cap = 0;
 };
 
 struct DistributedHplResult {
   bool ok = false;
   double residual = 0;
+  /// Residual computed *distributed*: every rank regenerates its local
+  /// entries of A, contributes partial row sums of A*x and |A|, and the
+  /// norms are combined with a ring allreduce — no gathered matrix needed.
+  double distributed_residual = 0;
   /// Factored matrix gathered to rank 0 (L\U in place, rows swapped).
   util::Matrix<double> factored;
   /// Absolute global row interchanges, stage-ordered.
@@ -57,6 +104,9 @@ struct DistributedHplResult {
   /// Max |x_distributed - x_gathered|: the distributed solve must agree with
   /// solving on the gathered factors.
   double solve_agreement = 0;
+  /// Per-rank communication counters (bytes, messages, blocked-wait time,
+  /// mailbox high-water mark), indexed by rank.
+  std::vector<net::CommStats> comm_stats;
 };
 
 /// Factors the seeded HPL matrix of order n on a P x Q grid with panel width

@@ -2,12 +2,84 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <exception>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 
 namespace xphi::net {
 
-World::World(int ranks) : ranks_(ranks), barrier_(static_cast<std::size_t>(ranks)) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Near-equal contiguous split of [0, n) into `parts`; returns chunk i.
+std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t n,
+                                                 std::size_t parts,
+                                                 std::size_t i) {
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t lo = i * base + std::min(i, extra);
+  return {lo, lo + base + (i < extra ? 1 : 0)};
+}
+
+void apply_op(ReduceOp op, double* dst, const double* src, std::size_t n) {
+  if (op == ReduceOp::kSum) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+int position_in(const std::vector<int>& group, int rank) {
+  return static_cast<int>(std::find(group.begin(), group.end(), rank) -
+                          group.begin());
+}
+
+}  // namespace
+
+struct Request::State {
+  World* world = nullptr;
+  int owner = 0;  // rank whose thread completes this request
+  int src = -1;
+  int tag = 0;
+  bool done = false;
+  Payload payload;
+};
+
+bool Request::test() {
+  assert(state_ != nullptr);
+  if (state_->done) return true;
+  if (state_->world->try_collect(state_->owner, state_->src, state_->tag,
+                                 &state_->payload)) {
+    state_->done = true;
+  }
+  return state_->done;
+}
+
+void Request::wait() {
+  assert(state_ != nullptr);
+  if (state_->done) return;
+  state_->payload =
+      state_->world->collect(state_->owner, state_->src, state_->tag);
+  state_->done = true;
+}
+
+Payload Request::take() {
+  wait();
+  return std::move(state_->payload);
+}
+
+World::World(int ranks)
+    : ranks_(ranks),
+      stats_(static_cast<std::size_t>(ranks)),
+      barrier_(static_cast<std::size_t>(ranks)) {
   assert(ranks >= 1);
   mailboxes_.reserve(ranks_);
   for (int r = 0; r < ranks_; ++r)
@@ -15,41 +87,116 @@ World::World(int ranks) : ranks_(ranks), barrier_(static_cast<std::size_t>(ranks
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
-  std::vector<std::thread> threads;
-  threads.reserve(ranks_ - 1);
-  for (int r = 1; r < ranks_; ++r) {
-    threads.emplace_back([this, r, &fn] {
+  // Per-rank exceptions (e.g. receive-timeout diagnostics) are captured and
+  // the first one rethrown once every rank has finished.
+  std::vector<std::exception_ptr> errors(ranks_);
+  auto body = [this, &fn, &errors](int r) {
+    try {
       Comm comm(this, r);
       fn(comm);
-    });
-  }
-  Comm comm0(this, 0);
-  fn(comm0);
+    } catch (...) {
+      errors[r] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_ - 1);
+  for (int r = 1; r < ranks_; ++r) threads.emplace_back(body, r);
+  body(0);
   for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
 }
 
 void World::deliver(int src, int dst, int tag, Payload data) {
   assert(dst >= 0 && dst < ranks_);
+  CommStats& s = stats_[src];
+  s.messages_sent += 1;
+  s.bytes_sent += data.size() * sizeof(double);
   Mailbox& box = *mailboxes_[dst];
   {
     std::lock_guard lk(box.mu);
     box.slots[{src, tag}].push(std::move(data));
+    box.depth += 1;
+    box.high_water = std::max(box.high_water, box.depth);
+    if (mailbox_soft_cap_ > 0 && box.depth > mailbox_soft_cap_) {
+      box.soft_cap_breaches += 1;
+      if (!box.cap_logged) {
+        box.cap_logged = true;
+        std::fprintf(stderr,
+                     "net: warning: rank %d mailbox exceeded soft cap of %zu "
+                     "queued messages (depth %zu, src=%d tag=%d)\n",
+                     dst, mailbox_soft_cap_, box.depth, src, tag);
+      }
+    }
   }
   box.cv.notify_all();
 }
 
 Payload World::collect(int dst, int src, int tag) {
   Mailbox& box = *mailboxes_[dst];
+  const auto t0 = Clock::now();
   std::unique_lock lk(box.mu);
   const auto key = std::make_pair(src, tag);
-  box.cv.wait(lk, [&] {
+  const auto ready = [&] {
     const auto it = box.slots.find(key);
     return it != box.slots.end() && !it->second.empty();
-  });
+  };
+  if (recv_timeout_seconds_ <= 0) {
+    box.cv.wait(lk, ready);
+  } else if (!box.cv.wait_for(lk,
+                              std::chrono::duration<double>(
+                                  recv_timeout_seconds_),
+                              ready)) {
+    const std::size_t depth = box.depth;
+    lk.unlock();
+    char msg[192];
+    std::snprintf(msg, sizeof msg,
+                  "net: rank %d receive timed out after %gs waiting on "
+                  "(src=%d, tag=%d); mailbox holds %zu undelivered message(s)",
+                  dst, recv_timeout_seconds_, src, tag, depth);
+    throw std::runtime_error(msg);
+  }
   auto& q = box.slots[key];
   Payload data = std::move(q.front());
   q.pop();
+  box.depth -= 1;
+  lk.unlock();
+  CommStats& s = stats_[dst];
+  s.messages_received += 1;
+  s.bytes_received += data.size() * sizeof(double);
+  s.wait_seconds += seconds_since(t0);
   return data;
+}
+
+bool World::try_collect(int dst, int src, int tag, Payload* out) {
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard lk(box.mu);
+    const auto it = box.slots.find({src, tag});
+    if (it == box.slots.end() || it->second.empty()) return false;
+    *out = std::move(it->second.front());
+    it->second.pop();
+    box.depth -= 1;
+  }
+  CommStats& s = stats_[dst];
+  s.messages_received += 1;
+  s.bytes_received += out->size() * sizeof(double);
+  return true;
+}
+
+std::size_t World::mailbox_high_water(int rank) const {
+  const Mailbox& box = *mailboxes_[rank];
+  std::lock_guard lk(box.mu);
+  return box.high_water;
+}
+
+CommStats World::stats(int rank) const {
+  CommStats s = stats_[rank];
+  const Mailbox& box = *mailboxes_[rank];
+  std::lock_guard lk(box.mu);
+  s.mailbox_high_water = box.high_water;
+  s.soft_cap_breaches = box.soft_cap_breaches;
+  return s;
 }
 
 int Comm::size() const noexcept { return world_->size(); }
@@ -60,16 +207,32 @@ void Comm::send(int dst, int tag, Payload data) {
 
 Payload Comm::recv(int src, int tag) { return world_->collect(rank_, src, tag); }
 
+Request Comm::isend(int dst, int tag, Payload data) {
+  world_->deliver(rank_, dst, tag, std::move(data));
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->world = world_;
+  req.state_->owner = rank_;
+  req.state_->done = true;  // buffered: completes at once
+  return req;
+}
+
+Request Comm::irecv(int src, int tag) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->world = world_;
+  req.state_->owner = rank_;
+  req.state_->src = src;
+  req.state_->tag = tag;
+  return req;
+}
+
 Payload Comm::bcast(int root, const std::vector<int>& group, Payload data,
                     int tag) {
   // Binomial tree over the positions within `group`.
-  const auto pos_of = [&](int rank) {
-    return static_cast<int>(
-        std::find(group.begin(), group.end(), rank) - group.begin());
-  };
   const int n = static_cast<int>(group.size());
-  const int root_pos = pos_of(root);
-  const int my_pos = pos_of(rank_);
+  const int root_pos = position_in(group, root);
+  const int my_pos = position_in(group, rank_);
   assert(root_pos < n && my_pos < n);
   // Virtual position relative to the root.
   const int vpos = (my_pos - root_pos + n) % n;
@@ -92,6 +255,109 @@ Payload Comm::bcast(int root, const std::vector<int>& group, Payload data,
   return data;
 }
 
+Payload Comm::ring_bcast(int root, const std::vector<int>& group, Payload data,
+                         int tag, std::size_t segment_doubles) {
+  const int n = static_cast<int>(group.size());
+  if (n <= 1) return data;
+  const int root_pos = position_in(group, root);
+  const int my_pos = position_in(group, rank_);
+  assert(root_pos < n && my_pos < n);
+  const int vpos = (my_pos - root_pos + n) % n;
+  const int succ = group[(my_pos + 1) % n];
+  const int pred = group[(my_pos - 1 + n) % n];
+  const bool last = vpos == n - 1;
+  if (vpos == 0) {
+    const std::size_t total = data.size();
+    const std::size_t seg =
+        segment_doubles == 0 ? std::max<std::size_t>(total, 1)
+                             : segment_doubles;
+    // Header first (receivers learn the length), then the pipelined chunks.
+    send(succ, tag,
+         {static_cast<double>(total), static_cast<double>(seg)});
+    for (std::size_t off = 0; off < total; off += seg) {
+      const std::size_t hi = std::min(off + seg, total);
+      send(succ, tag, Payload(data.begin() + off, data.begin() + hi));
+    }
+    return data;
+  }
+  const Payload header = recv(pred, tag);
+  if (!last) send(succ, tag, header);
+  const std::size_t total = static_cast<std::size_t>(header[0]);
+  const std::size_t seg = static_cast<std::size_t>(header[1]);
+  Payload out;
+  out.reserve(total);
+  for (std::size_t off = 0; off < total; off += seg) {
+    Payload chunk = recv(pred, tag);
+    if (!last) send(succ, tag, chunk);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+Payload Comm::allreduce(const std::vector<int>& group, Payload data, int tag,
+                        ReduceOp op) {
+  const std::size_t g = group.size();
+  if (g <= 1) return data;
+  const std::size_t pos = static_cast<std::size_t>(position_in(group, rank_));
+  assert(pos < g);
+  const int next = group[(pos + 1) % g];
+  const int prev = group[(pos + g - 1) % g];
+  const std::size_t n = data.size();
+  // Ring reduce-scatter: after g-1 steps, position i holds the fully
+  // reduced chunk (i+1) mod g.
+  for (std::size_t s = 0; s + 1 < g; ++s) {
+    const std::size_t sc = (pos + g - s) % g;
+    const std::size_t rc = (pos + 2 * g - s - 1) % g;
+    const auto [slo, shi] = chunk_bounds(n, g, sc);
+    send(next, tag, Payload(data.begin() + slo, data.begin() + shi));
+    const Payload in = recv(prev, tag);
+    const auto [rlo, rhi] = chunk_bounds(n, g, rc);
+    assert(in.size() == rhi - rlo);
+    apply_op(op, data.data() + rlo, in.data(), rhi - rlo);
+  }
+  // Ring allgather of the reduced chunks.
+  for (std::size_t s = 0; s + 1 < g; ++s) {
+    const std::size_t sc = (pos + g + 1 - s) % g;
+    const std::size_t rc = (pos + g - s) % g;
+    const auto [slo, shi] = chunk_bounds(n, g, sc);
+    send(next, tag, Payload(data.begin() + slo, data.begin() + shi));
+    const Payload in = recv(prev, tag);
+    const auto [rlo, rhi] = chunk_bounds(n, g, rc);
+    assert(in.size() == rhi - rlo);
+    std::copy(in.begin(), in.end(), data.begin() + rlo);
+  }
+  return data;
+}
+
+Payload Comm::reduce_scatter(const std::vector<int>& group, Payload data,
+                             int tag, ReduceOp op) {
+  const std::size_t g = group.size();
+  if (g <= 1) return data;
+  const std::size_t pos = static_cast<std::size_t>(position_in(group, rank_));
+  assert(pos < g);
+  const int next = group[(pos + 1) % g];
+  const int prev = group[(pos + g - 1) % g];
+  const std::size_t n = data.size();
+  // Same ring schedule as allreduce's first phase, but with every position
+  // rotated back by one so the fully reduced chunk a rank ends up holding
+  // is its own group position.
+  const std::size_t vp = (pos + g - 1) % g;
+  for (std::size_t s = 0; s + 1 < g; ++s) {
+    const std::size_t sc = (vp + g - s) % g;
+    const std::size_t rc = (vp + 2 * g - s - 1) % g;
+    const auto [slo, shi] = chunk_bounds(n, g, sc);
+    send(next, tag, Payload(data.begin() + slo, data.begin() + shi));
+    const Payload in = recv(prev, tag);
+    const auto [rlo, rhi] = chunk_bounds(n, g, rc);
+    assert(in.size() == rhi - rlo);
+    apply_op(op, data.data() + rlo, in.data(), rhi - rlo);
+  }
+  const auto [lo, hi] = chunk_bounds(n, g, pos);
+  return Payload(data.begin() + lo, data.begin() + hi);
+}
+
 void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+
+CommStats Comm::stats() const { return world_->stats(rank_); }
 
 }  // namespace xphi::net

@@ -7,12 +7,25 @@
 // barrier — mirroring the subset of MPI the real HPL uses. No shared state
 // crosses rank boundaries except through messages, so the functional tests
 // genuinely exercise the distribution logic.
+//
+// On top of the blocking primitives sits a nonblocking layer (isend/irecv
+// returning waitable Request handles) and three collectives the pipelined
+// look-ahead and residual checks need:
+//   - bcast:          binomial tree (latency-optimal for short messages);
+//   - ring_bcast:     segmented ring that pipelines long messages in
+//                     fixed-size chunks (bandwidth-optimal; the functional
+//                     twin of HPL's "increasing ring" panel broadcast);
+//   - allreduce /     ring reduce-scatter (+ ring allgather), element-wise
+//     reduce_scatter: sum or max.
+// Every rank's traffic is metered (bytes, message counts, blocked-wait time,
+// mailbox high-water mark) so benches can report communication exposure.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <vector>
@@ -25,6 +38,48 @@ using Payload = std::vector<double>;
 
 class World;
 
+/// Element-wise reduction operators for allreduce / reduce_scatter.
+enum class ReduceOp { kSum, kMax };
+
+/// Per-rank communication counters. A rank's own counters may be read from
+/// its own thread at any time (Comm::stats()); cross-rank reads are only
+/// well-defined after World::run returns.
+struct CommStats {
+  std::size_t messages_sent = 0;
+  std::size_t messages_received = 0;
+  std::size_t bytes_sent = 0;      // payload bytes (doubles * 8)
+  std::size_t bytes_received = 0;
+  double wait_seconds = 0;         // time blocked in recv / Request::wait
+  std::size_t mailbox_high_water = 0;  // max messages ever queued at once
+  std::size_t soft_cap_breaches = 0;   // deliveries past the soft cap
+};
+
+/// Waitable handle for a nonblocking operation. isend requests complete
+/// immediately (mailboxes buffer the payload, like MPI_Ibsend); irecv
+/// requests complete when a matching message is available. Copyable —
+/// copies share completion state.
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Nonblocking completion probe; consumes the matching message if one is
+  /// already queued.
+  bool test();
+
+  /// Blocks until complete (honours the World's receive timeout).
+  void wait();
+
+  /// wait() + moves the received payload out (empty for send requests).
+  Payload take();
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
 /// Per-rank communication endpoint handed to each rank function.
 class Comm {
  public:
@@ -34,16 +89,51 @@ class Comm {
   /// Sends `data` to `dst` with a tag. Never blocks (unbounded mailboxes).
   void send(int dst, int tag, Payload data);
 
-  /// Blocks until a message with (src, tag) arrives.
+  /// Blocks until a message with (src, tag) arrives. Throws std::runtime_error
+  /// naming the blocked rank/tag if the World's receive timeout (if set)
+  /// expires first.
   Payload recv(int src, int tag);
+
+  /// Nonblocking send: the payload is buffered at the destination
+  /// immediately, so the returned Request is already complete.
+  Request isend(int dst, int tag, Payload data);
+
+  /// Posts a nonblocking receive for (src, tag); match happens at
+  /// test()/wait() time. FIFO order per (src, tag) is preserved across
+  /// mixed recv/irecv use in posting order only if waits are issued in
+  /// posting order.
+  Request irecv(int src, int tag);
 
   /// Binomial-tree broadcast within the ranks listed in `group` (all of
   /// which must call with identical arguments); `root` is a rank id that
   /// must appear in `group`. Returns the broadcast payload.
   Payload bcast(int root, const std::vector<int>& group, Payload data, int tag);
 
+  /// Segmented ring broadcast: the payload travels around `group` in ring
+  /// order starting at `root`, split into chunks of `segment_doubles`
+  /// elements (0 = single chunk). Each rank forwards a chunk as soon as it
+  /// arrives, so long messages pipeline across the ring instead of
+  /// serializing hop-by-hop. Payload-equal to bcast().
+  Payload ring_bcast(int root, const std::vector<int>& group, Payload data,
+                     int tag, std::size_t segment_doubles = 0);
+
+  /// Ring allreduce (reduce-scatter + allgather) over `group`. All ranks
+  /// must pass equal-length vectors; every rank returns the element-wise
+  /// reduction.
+  Payload allreduce(const std::vector<int>& group, Payload data, int tag,
+                    ReduceOp op = ReduceOp::kSum);
+
+  /// Ring reduce-scatter over `group`: returns this rank's chunk of the
+  /// element-wise reduction, where chunk i (near-equal contiguous split
+  /// into group.size() parts) goes to the rank at position i of `group`.
+  Payload reduce_scatter(const std::vector<int>& group, Payload data, int tag,
+                         ReduceOp op = ReduceOp::kSum);
+
   /// Global barrier over all ranks.
   void barrier();
+
+  /// This rank's traffic counters (snapshot).
+  CommStats stats() const;
 
  private:
   friend class World;
@@ -59,23 +149,56 @@ class World {
   int size() const noexcept { return ranks_; }
 
   /// Runs fn(comm) once per rank, each on its own thread; returns when all
-  /// ranks finish.
+  /// ranks finish. If a rank throws, the exception is rethrown here after
+  /// all ranks complete — pair with set_recv_timeout so ranks blocked on a
+  /// failed peer's messages unblock diagnostically instead of hanging.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Receive timeout in seconds (0 = wait forever, the default). A recv or
+  /// Request::wait that exceeds it throws std::runtime_error naming the
+  /// blocked rank and the (src, tag) it was waiting on. Does not cover
+  /// barrier(). Set before run().
+  void set_recv_timeout(double seconds) { recv_timeout_seconds_ = seconds; }
+
+  /// Soft cap on queued messages per rank mailbox (0 = off). Exceeding it
+  /// logs one warning per rank to stderr and counts the breach — it never
+  /// aborts — so runaway-pipelining bugs surface in tests.
+  void set_mailbox_soft_cap(std::size_t max_queued) {
+    mailbox_soft_cap_ = max_queued;
+  }
+
+  /// Maximum number of messages ever queued at once in `rank`'s mailbox.
+  std::size_t mailbox_high_water(int rank) const;
+
+  /// Traffic counters for `rank`, including mailbox high-water mark.
+  /// Well-defined after run() returns (or from the rank's own thread).
+  CommStats stats(int rank) const;
 
  private:
   friend class Comm;
+  friend class Request;
 
   struct Mailbox {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable cv;
     std::map<std::pair<int, int>, std::queue<Payload>> slots;  // (src, tag)
+    std::size_t depth = 0;       // total queued messages
+    std::size_t high_water = 0;
+    std::size_t soft_cap_breaches = 0;
+    bool cap_logged = false;
   };
 
   void deliver(int src, int dst, int tag, Payload data);
   Payload collect(int dst, int src, int tag);
+  bool try_collect(int dst, int src, int tag, Payload* out);
 
   int ranks_;
+  double recv_timeout_seconds_ = 0;
+  std::size_t mailbox_soft_cap_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  // Indexed by rank; slot r is only written by rank r's thread (senders
+  // account bytes on their own slot), so no locking is needed.
+  std::vector<CommStats> stats_;
   util::SpinBarrier barrier_;
 };
 

@@ -98,6 +98,24 @@ std::string render_gantt(const Timeline& timeline, std::size_t width) {
   return out.str();
 }
 
+double cross_lane_overlap(const Timeline& timeline, SpanKind a, SpanKind b) {
+  std::vector<const Span*> as, bs;
+  for (const Span& s : timeline.spans()) {
+    if (s.kind == a) as.push_back(&s);
+    if (s.kind == b) bs.push_back(&s);
+  }
+  double total = 0;
+  for (const Span* x : as) {
+    for (const Span* y : bs) {
+      if (x->lane == y->lane) continue;
+      const double lo = std::max(x->t0, y->t0);
+      const double hi = std::min(x->t1, y->t1);
+      if (hi > lo) total += hi - lo;
+    }
+  }
+  return total;
+}
+
 std::string timeline_to_csv(const Timeline& timeline) {
   std::ostringstream out;
   out << "lane,kind,t0,t1\n";

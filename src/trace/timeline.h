@@ -80,4 +80,12 @@ std::string render_gantt(const Timeline& timeline, std::size_t width = 100);
 /// Serializes the spans as CSV (lane,kind,t0,t1) for external plotting.
 std::string timeline_to_csv(const Timeline& timeline);
 
+/// Total pairwise overlap seconds between spans of kind `a` and spans of
+/// kind `b` on *different* lanes — the "communication hidden under compute"
+/// measure for the pipelined look-ahead (e.g. a > 0 overlap of kBroadcast
+/// with kGemm means some rank's broadcast ran while another rank computed).
+/// Overlap is summed over all qualifying span pairs, so a span overlapping
+/// two partners counts twice.
+double cross_lane_overlap(const Timeline& timeline, SpanKind a, SpanKind b);
+
 }  // namespace xphi::trace

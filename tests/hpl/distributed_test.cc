@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 #include <vector>
 
 #include "blas/getrf.h"
 #include "blas/residual.h"
+#include "trace/timeline.h"
 #include "util/rng.h"
 
 namespace xphi::hpl {
@@ -152,6 +154,150 @@ TEST(DistributedHpl, GatherScatterSwapSolves) {
   opt.swap_algorithm = SwapAlgorithm::kGatherScatter;
   const auto res = run_distributed_hpl(90, 10, Grid{3, 1}, 17, opt);
   EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.solve_agreement, 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Look-ahead schemes (paper Section IV, Figure 8)
+// ---------------------------------------------------------------------------
+
+TEST(DistributedHpl, LookaheadSchemesBitwiseIdentical) {
+  // The three schedules reorder communication and split the update into
+  // column subsets, but never change any per-element accumulation order
+  // (see gemm_tiled.h) — so the factors must match kNone bit for bit,
+  // across both swap algorithms and non-divisible N/NB/PxQ shapes.
+  struct Shape { std::size_t n, nb; Grid grid; };
+  for (const Shape& sh : {Shape{70, 12, Grid{2, 2}},    // ragged last block
+                          Shape{84, 16, Grid{3, 2}},    // uneven block counts
+                          Shape{48, 8, Grid{1, 3}}}) {  // single process row
+    for (auto swap : {SwapAlgorithm::kPairwise, SwapAlgorithm::kGatherScatter}) {
+      DistributedHplOptions base;
+      base.swap_algorithm = swap;
+      const auto none = run_distributed_hpl(sh.n, sh.nb, sh.grid, 29, base);
+      ASSERT_TRUE(none.ok);
+      for (auto scheme : {Lookahead::kBasic, Lookahead::kPipelined}) {
+        DistributedHplOptions opt = base;
+        opt.lookahead = scheme;
+        const auto res = run_distributed_hpl(sh.n, sh.nb, sh.grid, 29, opt);
+        const auto label = [&] {
+          return ::testing::Message()
+                 << "n=" << sh.n << " nb=" << sh.nb << " grid=" << sh.grid.p
+                 << "x" << sh.grid.q << " swap=" << static_cast<int>(swap)
+                 << " scheme=" << static_cast<int>(scheme);
+        };
+        ASSERT_TRUE(res.ok) << label();
+        EXPECT_EQ(res.ipiv, none.ipiv) << label();
+        EXPECT_EQ(util::max_abs_diff<double>(res.factored.view(),
+                                             none.factored.view()),
+                  0.0)
+            << label();
+        EXPECT_LT(res.solve_agreement, 1e-10) << label();
+      }
+    }
+  }
+}
+
+TEST(DistributedHpl, LookaheadMatchesSequentialOracle) {
+  const std::size_t n = 84, nb = 12;
+  util::Matrix<double> a(n, n);
+  util::fill_hpl_matrix(a.view(), 43);
+  std::vector<std::size_t> ipiv(n);
+  ASSERT_TRUE(blas::getrf_blocked<double>(a.view(), ipiv, nb));
+  for (auto scheme : {Lookahead::kBasic, Lookahead::kPipelined}) {
+    DistributedHplOptions opt;
+    opt.lookahead = scheme;
+    const auto res = run_distributed_hpl(n, nb, Grid{2, 2}, 43, opt);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.ipiv, ipiv);
+    EXPECT_LT(util::max_abs_diff<double>(res.factored.view(), a.view()), 1e-9);
+  }
+}
+
+TEST(DistributedHpl, PipelinedSubsetCountsAllEquivalent) {
+  // Any subset count — including 1 (degenerate) and more than the trailing
+  // width supports — must leave the numerics untouched.
+  const auto none = run_distributed_hpl(66, 11, Grid{2, 2}, 51);
+  ASSERT_TRUE(none.ok);
+  for (int subsets : {1, 2, 7, 16}) {
+    DistributedHplOptions opt;
+    opt.lookahead = Lookahead::kPipelined;
+    opt.pipeline_subsets = subsets;
+    const auto res = run_distributed_hpl(66, 11, Grid{2, 2}, 51, opt);
+    ASSERT_TRUE(res.ok) << "subsets=" << subsets;
+    EXPECT_EQ(res.ipiv, none.ipiv) << "subsets=" << subsets;
+    EXPECT_EQ(util::max_abs_diff<double>(res.factored.view(),
+                                         none.factored.view()),
+              0.0)
+        << "subsets=" << subsets;
+  }
+}
+
+TEST(DistributedHpl, PipelinedRecordsOverlappingCommAndCompute) {
+  // The point of the pipelined schedule: some rank's broadcast (panel or U
+  // transfer wait) runs while another rank's GEMM computes. The timeline
+  // must show cross-lane kBroadcast x kGemm overlap, and comm spans must
+  // land in the kBroadcast/kRowSwap lanes.
+  trace::Timeline tl;
+  DistributedHplOptions opt;
+  opt.lookahead = Lookahead::kPipelined;
+  opt.pipeline_subsets = 4;
+  opt.timeline = &tl;
+  const auto res = run_distributed_hpl(240, 24, Grid{2, 2}, 71, opt);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(tl.lanes(), 4u);  // one lane per rank
+  bool has_bcast = false, has_swap = false, has_gemm = false;
+  for (const auto& s : tl.spans()) {
+    has_bcast |= s.kind == trace::SpanKind::kBroadcast;
+    has_swap |= s.kind == trace::SpanKind::kRowSwap;
+    has_gemm |= s.kind == trace::SpanKind::kGemm;
+  }
+  EXPECT_TRUE(has_bcast);
+  EXPECT_TRUE(has_swap);
+  EXPECT_TRUE(has_gemm);
+  EXPECT_GT(trace::cross_lane_overlap(tl, trace::SpanKind::kBroadcast,
+                                      trace::SpanKind::kGemm),
+            0.0);
+}
+
+TEST(DistributedHpl, DistributedResidualAgreesWithGatheredResidual) {
+  // The allreduce-based residual never gathers A; it must still pass the
+  // HPL test and land within FP-reordering distance of the gathered one.
+  for (auto scheme : {Lookahead::kNone, Lookahead::kBasic, Lookahead::kPipelined}) {
+    DistributedHplOptions opt;
+    opt.lookahead = scheme;
+    const auto res = run_distributed_hpl(96, 12, Grid{2, 2}, 23, opt);
+    ASSERT_TRUE(res.ok);
+    EXPECT_LT(res.distributed_residual, blas::kHplResidualThreshold);
+    EXPECT_GT(res.distributed_residual, 0.0);
+    // Same quantity up to summation order: within a small factor.
+    EXPECT_LT(res.distributed_residual, 4 * res.residual + 1.0);
+    EXPECT_GT(4 * res.distributed_residual + 1.0, res.residual);
+  }
+}
+
+TEST(DistributedHpl, CommStatsExposePerRankTraffic) {
+  DistributedHplOptions opt;
+  opt.lookahead = Lookahead::kPipelined;
+  const auto res = run_distributed_hpl(72, 12, Grid{2, 2}, 37, opt);
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.comm_stats.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(res.comm_stats[r].messages_sent, 0u) << "rank " << r;
+    EXPECT_GT(res.comm_stats[r].bytes_received, 0u) << "rank " << r;
+    EXPECT_GT(res.comm_stats[r].mailbox_high_water, 0u) << "rank " << r;
+  }
+}
+
+TEST(DistributedHpl, LookaheadWithOffloadEngine) {
+  // Look-ahead over the functional offload engine: the combination the
+  // paper's multi-node hybrid runs.
+  DistributedHplOptions opt;
+  opt.lookahead = Lookahead::kBasic;
+  opt.use_offload_engine = true;
+  opt.offload.mt = 20;
+  opt.offload.nt = 20;
+  const auto res = run_distributed_hpl(72, 12, Grid{2, 2}, 19, opt);
+  ASSERT_TRUE(res.ok);
   EXPECT_LT(res.solve_agreement, 1e-10);
 }
 

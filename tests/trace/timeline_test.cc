@@ -88,6 +88,25 @@ TEST(TimelineCsv, SerializesSpans) {
   EXPECT_NE(csv.find("2,DLASWP,1.5,2"), std::string::npos);
 }
 
+TEST(CrossLaneOverlap, SumsPairwiseOverlapOnDifferentLanesOnly) {
+  Timeline tl;
+  tl.record(0, SpanKind::kBroadcast, 0.0, 2.0);
+  tl.record(0, SpanKind::kGemm, 0.5, 1.0);  // same lane: must not count
+  tl.record(1, SpanKind::kGemm, 1.0, 3.0);  // overlaps [1, 2) with lane 0
+  tl.record(2, SpanKind::kGemm, 5.0, 6.0);  // disjoint in time
+  EXPECT_DOUBLE_EQ(
+      cross_lane_overlap(tl, SpanKind::kBroadcast, SpanKind::kGemm), 1.0);
+  // Symmetric in the two kinds.
+  EXPECT_DOUBLE_EQ(
+      cross_lane_overlap(tl, SpanKind::kGemm, SpanKind::kBroadcast), 1.0);
+  // A broadcast overlapping two partners counts twice.
+  tl.record(2, SpanKind::kGemm, 1.5, 2.5);  // adds [1.5, 2) = 0.5
+  EXPECT_DOUBLE_EQ(
+      cross_lane_overlap(tl, SpanKind::kBroadcast, SpanKind::kGemm), 1.5);
+  EXPECT_DOUBLE_EQ(cross_lane_overlap(tl, SpanKind::kTrsm, SpanKind::kGemm),
+                   0.0);
+}
+
 TEST(SpanKindMeta, NamesAndGlyphsDistinct) {
   EXPECT_STREQ(span_kind_name(SpanKind::kGemm), "DGEMM");
   EXPECT_EQ(span_kind_glyph(SpanKind::kPanelFactor), 'G');
