@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-stop verification gate: builds everything, runs the tier-1 ctest
+# suite, re-runs the labelled subsets that exercise the messaging layer
+# (-L net) and the fault-injection chaos harness (-L fault), then repeats
+# the concurrency-bearing suites under ThreadSanitizer. Exits non-zero on
+# the first failure; CI-runnable.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+echo "== build =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== tier-1 ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== ctest -L net =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
+
+echo "== ctest -L fault =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L fault
+
+echo "== ThreadSanitizer =="
+"$(dirname "$0")/run_tsan.sh"
+
+echo "check.sh: all gates passed."

@@ -3,9 +3,11 @@
 #
 # Covers the dynamic parallel_for scheduler (thread pool), parallel packing
 # and the pack cache, the pooled tiled GEMM, the DAG LU executor, the
-# net::World messaging layer (nonblocking requests + collectives), and the
-# distributed HPL look-ahead schedules built on it — the code paths where a
-# scheduling bug would be a data race rather than a wrong number.
+# net::World messaging layer (nonblocking requests + collectives), the
+# distributed HPL look-ahead schedules built on it, and the fault-injection
+# chaos harness (retry/NACK/absorption races in the offload reliability
+# protocol) — the code paths where a scheduling bug would be a data race
+# rather than a wrong number.
 # CI-runnable: exits non-zero on any race report or test failure.
 set -euo pipefail
 
@@ -15,7 +17,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_lu test_core test_net test_hpl
+  --target test_util test_blas test_lu test_core test_net test_hpl test_fault
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
@@ -24,5 +26,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_core" --gtest_filter='OffloadFunctional*'
 "$BUILD_DIR/tests/test_net"  # whole messaging layer, incl. collectives
 "$BUILD_DIR/tests/test_hpl" --gtest_filter='DistributedHpl.Lookahead*:DistributedHpl.Pipelined*:DistributedHpl.CommStats*:DistributedHpl.DistributedResidual*'
+"$BUILD_DIR/tests/test_fault"  # injector determinism + the whole chaos harness
 
 echo "TSan: all monitored suites clean."

@@ -9,11 +9,25 @@
 // them in place. Tests validate the result against the reference GEMM, that
 // every tile is processed exactly once, and that partial-tile merging covers
 // ragged shapes.
+//
+// With a fault::Injector attached the link becomes unreliable and the
+// engine runs a reliability protocol over it: every request/result carries
+// an FNV checksum of its payload, a corrupted transfer is NACKed or
+// discarded and resent with bounded retries and exponential backoff, a
+// vanished transfer is recovered by a retry timeout, duplicated transfers
+// are deduplicated by per-tile completion state, and a card that dies
+// mid-run has its outstanding and undeliverable tiles absorbed by the
+// surviving cards or computed host-side (the same two-ended work split as
+// host stealing, so re-homing never changes a bit of the result).
 #pragma once
 
 #include <cstddef>
 
 #include "util/matrix.h"
+
+namespace xphi::fault {
+class Injector;
+}
 
 namespace xphi::core {
 
@@ -22,6 +36,16 @@ struct FunctionalOffloadConfig {
   int cards = 1;
   bool host_steals = true;
   bool merge_partial_tiles = true;
+
+  /// Fault injection on the DMA queues (Site::kDmaRequest / kDmaResult)
+  /// and scripted card deaths. Null = clean run: no checksums, no retry
+  /// timeouts, byte-for-byte the original engine behaviour.
+  fault::Injector* injector = nullptr;
+  /// Bounded retries per tile before the host absorbs it.
+  int max_retries = 4;
+  /// Base retry timeout; attempt a waits retry_timeout_ms * 2^(a-1) before
+  /// a lost transfer is resent (exponential backoff).
+  double retry_timeout_ms = 50;
 };
 
 struct FunctionalOffloadStats {
@@ -32,6 +56,11 @@ struct FunctionalOffloadStats {
   // tiles in one grid column share a packed B column-panel (pack cache).
   std::size_t pack_hits = 0;
   std::size_t pack_misses = 0;
+  // Reliability protocol (all zero on a clean run):
+  std::size_t retries = 0;            // requests resent (timeout or NACK)
+  std::size_t checksum_failures = 0;  // corrupted transfers detected
+  std::size_t tiles_absorbed = 0;     // card tiles re-homed to the host
+  std::size_t cards_lost = 0;         // cards that died mid-run
 };
 
 /// C (m x n) += alpha * A (m x k) * B (k x n), executed with the offload

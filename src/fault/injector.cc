@@ -1,0 +1,130 @@
+#include "fault/injector.h"
+
+#include <thread>
+
+namespace xphi::fault {
+
+namespace {
+
+/// splitmix64 finalizer over the (seed, site, seq) coordinates — the same
+/// hash-the-position discipline as util::hpl_entry, so a decision never
+/// depends on call history.
+double uniform_at(std::uint64_t seed, Site site, std::uint64_t seq) noexcept {
+  std::uint64_t z = seed ^ (0x9E3779B97F4A7C15ull * (seq + 1)) ^
+                    (0xC2B2AE3D27D4EB4Full *
+                     (static_cast<std::uint64_t>(site) + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kDmaRequest: return "dma-request";
+    case Site::kDmaResult: return "dma-result";
+    case Site::kPcieLink: return "pcie-link";
+    case Site::kNetMessage: return "net-message";
+  }
+  return "?";
+}
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kDelay: return "delay";
+    case Action::kDrop: return "drop";
+    case Action::kDuplicate: return "duplicate";
+    case Action::kCorrupt: return "corrupt";
+    case Action::kKill: return "kill";
+  }
+  return "?";
+}
+
+Injector::Injector(InjectorConfig config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {}
+
+const SiteFaults& Injector::site_faults(Site site) const noexcept {
+  switch (site) {
+    case Site::kDmaRequest: return config_.dma_request;
+    case Site::kDmaResult: return config_.dma_result;
+    case Site::kPcieLink: return config_.pcie;
+    case Site::kNetMessage: return config_.net;
+  }
+  return config_.net;
+}
+
+Action Injector::decide(Site site, std::uint64_t seq) const noexcept {
+  const SiteFaults& f = site_faults(site);
+  const double u = uniform_at(config_.seed, site, seq);
+  double acc = f.drop;
+  if (u < acc) return Action::kDrop;
+  acc += f.duplicate;
+  if (u < acc) return Action::kDuplicate;
+  acc += f.corrupt;
+  if (u < acc) return Action::kCorrupt;
+  acc += f.delay;
+  if (u < acc) return Action::kDelay;
+  return Action::kNone;
+}
+
+Action Injector::next(Site site) {
+  const std::uint64_t seq =
+      counters_[static_cast<std::size_t>(site)].fetch_add(
+          1, std::memory_order_relaxed);
+  const Action action = decide(site, seq);
+  if (action != Action::kNone) {
+    std::lock_guard lk(mu_);
+    events_.push_back({site, seq, action});
+  }
+  return action;
+}
+
+double Injector::delay_seconds(Site site) const noexcept {
+  return site_faults(site).delay_us * 1e-6;
+}
+
+void Injector::sleep_logged(Site site, double seconds) {
+  if (seconds <= 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const auto t1 = std::chrono::steady_clock::now();
+  std::lock_guard lk(mu_);
+  spans_.push_back({static_cast<std::size_t>(site), trace::SpanKind::kFault,
+                    std::chrono::duration<double>(t0 - epoch_).count(),
+                    std::chrono::duration<double>(t1 - epoch_).count()});
+}
+
+void Injector::note_kill(Site site, std::uint64_t seq) {
+  std::lock_guard lk(mu_);
+  events_.push_back({site, seq, Action::kKill});
+}
+
+std::vector<FaultEvent> Injector::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::size_t Injector::count(Site site, Action action) const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const FaultEvent& e : events_)
+    if (e.site == site && e.action == action) ++n;
+  return n;
+}
+
+std::size_t Injector::fired() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+void Injector::flush_spans(trace::Timeline& timeline,
+                           std::size_t lane_base) const {
+  std::lock_guard lk(mu_);
+  for (const trace::Span& s : spans_)
+    timeline.record(lane_base + s.lane, s.kind, s.t0, s.t1);
+}
+
+}  // namespace xphi::fault

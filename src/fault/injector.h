@@ -1,0 +1,169 @@
+// Seeded, deterministic fault injection for the offload and network paths.
+//
+// The hybrid HPL of the paper lives on two fragile transports: the PCIe DMA
+// queues that carry every operand and result tile (Figure 10b, steps 4-8)
+// and the node-to-node broadcasts of the look-ahead schedules (Section IV).
+// This module makes both hostile on demand — slow links, stalled queues,
+// corrupted or vanished payloads, stalled or dead ranks, dead cards — while
+// keeping the *schedule* of faults a pure function of one seed, so a chaos
+// run that fails is a chaos run that replays.
+//
+// Determinism contract: `decide(site, seq)` is a pure function of
+// (seed, site, seq) — the same seed always yields the same action for the
+// seq-th event at a site, regardless of thread interleaving or call history
+// (the same hash-the-coordinates discipline as util::hpl_entry). Stateful
+// `next(site)` merely advances a per-site sequence counter and logs what
+// fired. Faults must therefore be *survivable under any interleaving*: the
+// transports recover (checksum + retry, retransmit-after-delay, work
+// re-homing), and the chaos tests assert the faulted run is bitwise
+// identical to the clean one.
+//
+// Fired delays are also recorded as trace::SpanKind::kFault spans (one lane
+// per site), so a chaos run's timeline shows where the schedule was bent.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "trace/timeline.h"
+
+namespace xphi::fault {
+
+/// Injection points. Each site draws from its own deterministic stream.
+enum class Site : std::uint8_t {
+  kDmaRequest = 0,  // host -> card request queue (packed operand tiles)
+  kDmaResult = 1,   // card -> host result queue (product tiles)
+  kPcieLink = 2,    // DMA cost model perturbation (pci::PcieLink)
+  kNetMessage = 3,  // rank-to-rank message delivery (net::World)
+};
+inline constexpr std::size_t kSiteCount = 4;
+
+const char* site_name(Site site);
+
+/// What happens to one event. Transports map these to their own physics:
+/// a dropped DMA payload vanishes (recovered by checksum/timeout retry); a
+/// dropped network message is retransmitted after a penalty (the reliable
+/// transport hides the loss as latency). kKill is never drawn randomly — it
+/// records a scripted card/rank death in the event log.
+enum class Action : std::uint8_t {
+  kNone = 0,
+  kDelay,      // event is late by delay_us
+  kDrop,       // payload lost
+  kDuplicate,  // payload delivered twice
+  kCorrupt,    // payload bits flipped in flight
+  kKill,       // scripted death (log-only marker)
+};
+
+const char* action_name(Action action);
+
+/// Per-site fault mix. Probabilities are per event and need not sum to 1;
+/// the remainder is kNone.
+struct SiteFaults {
+  double delay = 0;      // P(event delayed)
+  double drop = 0;       // P(payload lost)
+  double duplicate = 0;  // P(payload duplicated)
+  double corrupt = 0;    // P(payload corrupted)
+  double delay_us = 200;  // injected latency per kDelay event
+};
+
+struct InjectorConfig {
+  std::uint64_t seed = 1;
+  SiteFaults dma_request;  // Site::kDmaRequest
+  SiteFaults dma_result;   // Site::kDmaResult
+  SiteFaults pcie;         // Site::kPcieLink
+  SiteFaults net;          // Site::kNetMessage
+
+  // Scripted degradation scenarios (deterministic by construction):
+  /// Card `dead_card` dies after processing `card_death_after` tiles; its
+  /// outstanding and future tiles must be absorbed by survivors/host.
+  int dead_card = -1;
+  std::size_t card_death_after = 0;
+  /// Rank `dead_rank` dies at its `rank_death_after`-th send; peers surface
+  /// the loss through the receive-timeout diagnostics.
+  int dead_rank = -1;
+  std::size_t rank_death_after = 0;
+  /// Rank `slow_rank` stalls `slow_rank_us` before every send (the
+  /// single-slow-node regime of the look-ahead schedules).
+  int slow_rank = -1;
+  double slow_rank_us = 0;
+};
+
+/// One fired fault, in per-site sequence order.
+struct FaultEvent {
+  Site site = Site::kDmaRequest;
+  std::uint64_t seq = 0;
+  Action action = Action::kNone;
+};
+
+/// Thread-safe; one instance is shared by every transport of a run.
+class Injector {
+ public:
+  explicit Injector(InjectorConfig config = {});
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  const InjectorConfig& config() const noexcept { return config_; }
+
+  /// Pure decision function: the action for the seq-th event at `site`,
+  /// depending only on (seed, site, seq).
+  Action decide(Site site, std::uint64_t seq) const noexcept;
+
+  /// Draws the next event at `site`: advances the site's sequence counter,
+  /// logs the event if it fired, and returns the action. The caller applies
+  /// the transport-specific physics.
+  Action next(Site site);
+
+  /// Injected latency per kDelay event at `site`, in seconds.
+  double delay_seconds(Site site) const noexcept;
+
+  /// Sleeps for `seconds` and records the stall as a kFault span on the
+  /// site's lane (flush_spans). Used by transports to apply kDelay / the
+  /// retransmit penalty of a reliable-transport kDrop.
+  void sleep_logged(Site site, double seconds);
+
+  /// Records a scripted death in the event log (card/rank kill).
+  void note_kill(Site site, std::uint64_t seq);
+
+  // --- Scripted-scenario queries -------------------------------------
+  bool card_dies(int card, std::size_t tiles_processed) const noexcept {
+    return config_.dead_card == card &&
+           tiles_processed >= config_.card_death_after;
+  }
+  bool rank_dies(int rank, std::size_t messages_sent) const noexcept {
+    return config_.dead_rank == rank &&
+           messages_sent >= config_.rank_death_after;
+  }
+  double rank_stall_us(int rank) const noexcept {
+    return config_.slow_rank == rank ? config_.slow_rank_us : 0.0;
+  }
+
+  // --- Introspection --------------------------------------------------
+  /// Snapshot of every fired fault so far.
+  std::vector<FaultEvent> events() const;
+  /// Fired faults of one (site, action).
+  std::size_t count(Site site, Action action) const;
+  /// Total fired faults across all sites.
+  std::size_t fired() const;
+
+  /// Appends the recorded stall spans (kind kFault, lane = lane_base +
+  /// site index, times relative to the injector's construction).
+  void flush_spans(trace::Timeline& timeline, std::size_t lane_base = 0) const;
+
+ private:
+  const SiteFaults& site_faults(Site site) const noexcept;
+
+  InjectorConfig config_;
+  std::array<std::atomic<std::uint64_t>, kSiteCount> counters_{};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<FaultEvent> events_;
+  std::vector<trace::Span> spans_;
+};
+
+}  // namespace xphi::fault

@@ -811,6 +811,7 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
   net::World world(grid.ranks());
   world.set_recv_timeout(options.recv_timeout_seconds);
   world.set_mailbox_soft_cap(options.mailbox_soft_cap);
+  world.set_fault_injector(options.injector);
 
   // Per-rank span capture slots (each written only by its own rank thread;
   // merged into options.timeline after the world joins).

@@ -85,6 +85,11 @@ struct DistributedHplOptions {
   /// Mailbox soft cap handed to net::World (0 = off): logs when a rank's
   /// queue of undelivered messages exceeds it.
   std::size_t mailbox_soft_cap = 0;
+
+  /// Deterministic fault injection handed to net::World (per-message
+  /// delay/drop, scripted slow/dead ranks; see World::set_fault_injector).
+  /// To also fault the offload DMA path, set offload.injector. Null = clean.
+  fault::Injector* injector = nullptr;
 };
 
 struct DistributedHplResult {

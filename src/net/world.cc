@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fault/injector.h"
+
 namespace xphi::net {
 
 namespace {
@@ -107,8 +109,41 @@ void World::run(const std::function<void(Comm&)>& fn) {
     if (e) std::rethrow_exception(e);
 }
 
+/// Sender-side fault physics, applied before the mailbox insert (this runs
+/// on the sending rank's own thread, so stalls genuinely delay that rank).
+void World::apply_send_faults(int src) {
+  fault::Injector& inj = *injector_;
+  const std::size_t sends = stats_[src].messages_sent;
+  if (inj.rank_dies(src, sends)) {
+    inj.note_kill(fault::Site::kNetMessage, sends);
+    char msg[96];
+    std::snprintf(msg, sizeof msg,
+                  "net: rank %d killed by fault injection after %zu sends",
+                  src, sends);
+    throw std::runtime_error(msg);
+  }
+  const double stall_us = inj.rank_stall_us(src);
+  if (stall_us > 0)
+    inj.sleep_logged(fault::Site::kNetMessage, stall_us * 1e-6);
+  switch (inj.next(fault::Site::kNetMessage)) {
+    case fault::Action::kDelay:
+      inj.sleep_logged(fault::Site::kNetMessage,
+                       inj.delay_seconds(fault::Site::kNetMessage));
+      break;
+    case fault::Action::kDrop:
+      // Reliable transport: the wire message is lost and retransmitted, so
+      // the drop surfaces as a doubled stall rather than a missing payload.
+      inj.sleep_logged(fault::Site::kNetMessage,
+                       2 * inj.delay_seconds(fault::Site::kNetMessage));
+      break;
+    default:
+      break;
+  }
+}
+
 void World::deliver(int src, int dst, int tag, Payload data) {
   assert(dst >= 0 && dst < ranks_);
+  if (injector_ != nullptr) apply_send_faults(src);
   CommStats& s = stats_[src];
   s.messages_sent += 1;
   s.bytes_sent += data.size() * sizeof(double);

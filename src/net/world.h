@@ -32,6 +32,10 @@
 
 #include "util/barrier.h"
 
+namespace xphi::fault {
+class Injector;
+}
+
 namespace xphi::net {
 
 using Payload = std::vector<double>;
@@ -167,6 +171,17 @@ class World {
     mailbox_soft_cap_ = max_queued;
   }
 
+  /// Arms deterministic fault injection on message delivery (set before
+  /// run()). Per-message faults from the Site::kNetMessage stream: kDelay
+  /// stalls the sender by the configured latency; kDrop models a reliable
+  /// transport losing the wire message and retransmitting — a doubled
+  /// stall, never a lost payload (the rank protocol has no retransmit of
+  /// its own, so an unreliable drop would just be the recv-timeout
+  /// diagnostic). Scripted scenarios ride along: the configured slow rank
+  /// stalls before every send, and the configured dead rank throws at its
+  /// Nth send — peers then surface the loss through set_recv_timeout.
+  void set_fault_injector(fault::Injector* injector) { injector_ = injector; }
+
   /// Maximum number of messages ever queued at once in `rank`'s mailbox.
   std::size_t mailbox_high_water(int rank) const;
 
@@ -191,10 +206,12 @@ class World {
   void deliver(int src, int dst, int tag, Payload data);
   Payload collect(int dst, int src, int tag);
   bool try_collect(int dst, int src, int tag, Payload* out);
+  void apply_send_faults(int src);
 
   int ranks_;
   double recv_timeout_seconds_ = 0;
   std::size_t mailbox_soft_cap_ = 0;
+  fault::Injector* injector_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   // Indexed by rank; slot r is only written by rank r's thread (senders
   // account bytes on their own slot), so no locking is needed.

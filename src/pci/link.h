@@ -11,6 +11,8 @@
 
 #include <cstddef>
 
+#include "fault/injector.h"
+
 namespace xphi::pci {
 
 struct PcieLinkParams {
@@ -26,11 +28,35 @@ class PcieLink {
 
   const PcieLinkParams& params() const noexcept { return params_; }
 
+  /// Arms the link's cost model with deterministic fault perturbation
+  /// (Site::kPcieLink). transfer_seconds stays the clean model;
+  /// degraded_transfer_seconds draws from the injector.
+  void attach_faults(fault::Injector* injector) { faults_ = injector; }
+
   /// Seconds to move `bytes` across the link.
   double transfer_seconds(double bytes, bool contended = true) const noexcept {
     const double bw =
         (contended ? params_.contended_bw_gbs : params_.achievable_bw_gbs) * 1e9;
     return params_.dma_setup_seconds + bytes / bw;
+  }
+
+  /// Transfer time under the attached fault injector: an injected delay adds
+  /// the configured latency; a dropped DMA pays a full retransmit (setup +
+  /// bytes again); without an injector this is exactly transfer_seconds.
+  double degraded_transfer_seconds(double bytes, bool contended = true) const {
+    double t = transfer_seconds(bytes, contended);
+    if (faults_ == nullptr) return t;
+    switch (faults_->next(fault::Site::kPcieLink)) {
+      case fault::Action::kDelay:
+        t += faults_->delay_seconds(fault::Site::kPcieLink);
+        break;
+      case fault::Action::kDrop:
+        t += transfer_seconds(bytes, contended);
+        break;
+      default:
+        break;
+    }
+    return t;
   }
 
   /// The paper's lower bound on the offload panel depth Kt: the compute
@@ -42,6 +68,7 @@ class PcieLink {
 
  private:
   PcieLinkParams params_;
+  fault::Injector* faults_ = nullptr;
 };
 
 }  // namespace xphi::pci

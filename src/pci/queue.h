@@ -5,13 +5,26 @@
 // This is the functional implementation used by the real-numerics offload
 // executor in core/offload_functional.h, where the "coprocessor" is a host
 // thread. A bounded capacity mirrors the finite ring the real driver maps.
+//
+// The queue is also a fault-injection site (attach_faults): an armed queue
+// consults the injector once per enqueue and applies the drawn action as
+// link physics — a stalled descriptor ring (delay), a payload lost in DMA
+// (drop: enqueue "succeeds" but nothing arrives), a replayed descriptor
+// (duplicate), or bits flipped in flight (corrupt, via a caller-supplied
+// mutator so the queue stays payload-agnostic). Recovery is the consumer
+// protocol's job (checksums, retry, re-homing) — the queue only bends.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <type_traits>
+
+#include "fault/injector.h"
 
 namespace xphi::pci {
 
@@ -20,12 +33,49 @@ class BlockingQueue {
  public:
   explicit BlockingQueue(std::size_t capacity = 64) : capacity_(capacity) {}
 
+  /// Arms fault injection: every enqueue draws one action from `injector`'s
+  /// `site` stream. Call before producers start.
+  void attach_faults(fault::Injector* injector, fault::Site site) {
+    faults_ = injector;
+    fault_site_ = site;
+  }
+
+  /// Payload mutator applied on a kCorrupt draw (the queue does not know
+  /// what a corrupted T looks like). Without one, kCorrupt degrades to
+  /// delivery-as-is.
+  void set_corruptor(std::function<void(T&)> corrupt) {
+    corrupt_ = std::move(corrupt);
+  }
+
   /// Blocks while the queue is full. Returns false if the queue was closed.
+  /// With faults armed, a dropped payload still returns true: the producer
+  /// saw its DMA descriptor accepted — the payload just never arrives.
   bool enqueue(T item) {
+    fault::Action act = fault::Action::kNone;
+    if (faults_ != nullptr) {
+      act = faults_->next(fault_site_);
+      if (act == fault::Action::kDelay) {
+        // Stalled descriptor ring: the producer is held up.
+        faults_->sleep_logged(fault_site_,
+                              faults_->delay_seconds(fault_site_));
+      } else if (act == fault::Action::kCorrupt && corrupt_) {
+        corrupt_(item);
+      }
+    }
     std::unique_lock lk(mu_);
     cv_space_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
+    if (act == fault::Action::kDrop) return true;  // lost on the link
     items_.push_back(std::move(item));
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (act == fault::Action::kDuplicate) {
+        // Replayed descriptor: the same payload lands twice (the transient
+        // capacity overshoot mirrors a replay racing the ring pointer).
+        items_.push_back(items_.back());
+        cv_items_.notify_all();
+        return true;
+      }
+    }
     cv_items_.notify_one();
     return true;
   }
@@ -34,11 +84,18 @@ class BlockingQueue {
   std::optional<T> dequeue() {
     std::unique_lock lk(mu_);
     cv_items_.wait(lk, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    cv_space_.notify_one();
-    return item;
+    return pop_locked();
+  }
+
+  /// Bounded-wait dequeue: nullopt on timeout as well as once closed and
+  /// drained. Lets a consumer interleave queue polling with side-band work
+  /// (e.g. the offload engine's retry scans).
+  template <class Rep, class Period>
+  std::optional<T> dequeue_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    cv_items_.wait_for(lk, timeout,
+                       [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
   }
 
   /// Non-blocking poll (the coprocessor-side loop in the paper polls).
@@ -65,12 +122,23 @@ class BlockingQueue {
   }
 
  private:
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_items_;
   std::condition_variable cv_space_;
   std::deque<T> items_;
   std::size_t capacity_;
   bool closed_ = false;
+  fault::Injector* faults_ = nullptr;
+  fault::Site fault_site_ = fault::Site::kDmaRequest;
+  std::function<void(T&)> corrupt_;
 };
 
 }  // namespace xphi::pci

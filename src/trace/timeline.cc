@@ -15,6 +15,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kBroadcast: return "broadcast";
     case SpanKind::kPcieTransfer: return "PCIe";
     case SpanKind::kPack: return "pack";
+    case SpanKind::kFault: return "fault";
     case SpanKind::kIdle: return "idle";
   }
   return "?";
@@ -30,6 +31,7 @@ char span_kind_glyph(SpanKind kind) {
     case SpanKind::kBroadcast: return 'U';
     case SpanKind::kPcieTransfer: return 'P';
     case SpanKind::kPack: return 'K';
+    case SpanKind::kFault: return 'F';
     case SpanKind::kIdle: return '.';
   }
   return '?';
@@ -93,7 +95,7 @@ std::string render_gantt(const Timeline& timeline, std::size_t width) {
     out << "|\n";
   }
   out << "legend: G=DGETRF S=DLASWP T=DTRSM M=DGEMM B=barrier U=bcast "
-         "P=PCIe K=pack .=idle  (total "
+         "P=PCIe K=pack F=fault .=idle  (total "
       << end << " s)\n";
   return out.str();
 }

@@ -25,6 +25,7 @@ enum class SpanKind {
   kBroadcast,     // U / panel broadcast (hybrid only)
   kPcieTransfer,  // DMA to/from the coprocessor (hybrid only)
   kPack,          // packing into tile format
+  kFault,         // injected fault stall (fault::Injector)
   kIdle,
 };
 

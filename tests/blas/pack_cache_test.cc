@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "util/rng.h"
@@ -104,6 +105,54 @@ TEST(PackCache, ConcurrentGetsPackOnceAndAgree) {
   for (const auto& p : got) EXPECT_EQ(p.get(), got[0].get());
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), got.size() - 1);
+}
+
+TEST(PackCache, ConcurrentChurnSoakNoUseAfterEvict) {
+  // Soak: a tiny cache (capacity 3) hammered by 8 threads cycling through 6
+  // distinct source panels and a rolling tag, so every thread continuously
+  // mixes hits, misses and evictions. Each returned pack is verified against
+  // a direct pack of its source — an entry evicted while referenced must
+  // stay alive and intact (shared_ptr aliasing), so any use-after-evict
+  // shows up as corrupted packed contents (and as a data race under TSan).
+  constexpr std::size_t kSources = 6;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<util::Matrix<double>> sources;
+  std::vector<PackedA<double>> direct(kSources);
+  for (std::size_t s = 0; s < kSources; ++s) {
+    sources.emplace_back(45, 12);
+    util::fill_hpl_matrix(sources.back().view(), 100 + s);
+    direct[s].pack(sources.back().view());
+  }
+  PackCache<double> cache(3);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      util::Rng rng(7000 + t);
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t s = rng.next_u64() % kSources;
+        // A handful of rolling tags keeps evictions churning: the same
+        // panel under a fresh tag is a miss that displaces a FIFO victim.
+        const std::uint64_t tag = (i / 64) % 3;
+        auto p = cache.get_a(sources[s].view(), tag);
+        const PackedA<double>& want = direct[s];
+        if (p->tiles() != want.tiles() || p->depth() != want.depth()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t tile = 0; tile < want.tiles(); ++tile) {
+          if (std::memcmp(p->tile(tile), want.tile(tile),
+                          sizeof(double) * p->tile_rows() * p->depth()) != 0)
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(cache.entries(), 3u);  // the capacity bound held through churn
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), kSources);  // tag churn forced re-packs
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "trace/timeline.h"
+
+namespace xphi::fault {
+namespace {
+
+InjectorConfig mixed_config(std::uint64_t seed) {
+  InjectorConfig cfg;
+  cfg.seed = seed;
+  cfg.dma_request = {.delay = 0.1, .drop = 0.1, .duplicate = 0.1, .corrupt = 0.1};
+  cfg.dma_result = {.delay = 0.2, .drop = 0.05, .duplicate = 0.0, .corrupt = 0.15};
+  cfg.pcie = {.delay = 0.3, .drop = 0.1};
+  cfg.net = {.delay = 0.25, .drop = 0.25};
+  return cfg;
+}
+
+constexpr Site kAllSites[] = {Site::kDmaRequest, Site::kDmaResult,
+                              Site::kPcieLink, Site::kNetMessage};
+
+TEST(Injector, DecideIsPureAndSeedStable) {
+  const Injector a(mixed_config(123));
+  const Injector b(mixed_config(123));
+  for (Site site : kAllSites)
+    for (std::uint64_t seq = 0; seq < 512; ++seq) {
+      const Action act = a.decide(site, seq);
+      // Pure in (seed, site, seq): a fresh injector and a repeated call
+      // agree, no matter what was drawn before.
+      EXPECT_EQ(act, a.decide(site, seq));
+      EXPECT_EQ(act, b.decide(site, seq));
+    }
+}
+
+TEST(Injector, SameSeedSameScheduleAcrossInterleavings) {
+  // Draw the same number of events per site in two different orders; the
+  // logged schedule (site, seq -> action) must be identical.
+  Injector fwd(mixed_config(7));
+  Injector rev(mixed_config(7));
+  for (int i = 0; i < 64; ++i)
+    for (Site site : kAllSites) fwd.next(site);
+  for (int i = 0; i < 64; ++i)
+    for (auto it = std::rbegin(kAllSites); it != std::rend(kAllSites); ++it)
+      rev.next(*it);
+  for (Site site : kAllSites)
+    for (Action act : {Action::kDelay, Action::kDrop, Action::kDuplicate,
+                       Action::kCorrupt})
+      EXPECT_EQ(fwd.count(site, act), rev.count(site, act))
+          << site_name(site) << "/" << action_name(act);
+  // And every fired event matches the pure decision function.
+  for (const FaultEvent& ev : fwd.events())
+    EXPECT_EQ(ev.action, fwd.decide(ev.site, ev.seq));
+}
+
+TEST(Injector, DifferentSeedsDiverge) {
+  Injector a(mixed_config(1));
+  Injector b(mixed_config(2));
+  bool differ = false;
+  for (std::uint64_t seq = 0; seq < 256 && !differ; ++seq)
+    differ = a.decide(Site::kNetMessage, seq) != b.decide(Site::kNetMessage, seq);
+  EXPECT_TRUE(differ);
+}
+
+TEST(Injector, ZeroProbabilitiesNeverFire) {
+  InjectorConfig quiet;
+  quiet.seed = 99;
+  Injector inj(quiet);
+  for (Site site : kAllSites)
+    for (int i = 0; i < 200; ++i) EXPECT_EQ(inj.next(site), Action::kNone);
+  EXPECT_EQ(inj.fired(), 0u);
+  EXPECT_TRUE(inj.events().empty());
+}
+
+TEST(Injector, CertainDropAlwaysFires) {
+  InjectorConfig cfg;
+  cfg.seed = 5;
+  cfg.dma_request.drop = 1.0;
+  Injector inj(cfg);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(inj.next(Site::kDmaRequest), Action::kDrop);
+  EXPECT_EQ(inj.count(Site::kDmaRequest, Action::kDrop), 100u);
+  EXPECT_EQ(inj.fired(), 100u);
+  // Other sites keep their own (empty) streams.
+  EXPECT_EQ(inj.next(Site::kNetMessage), Action::kNone);
+}
+
+TEST(Injector, ConcurrentDrawsArePositionStable) {
+  // Many threads hammer one site; each drawn seq must still map to the
+  // action decide() prescribes, and seqs must partition 0..N-1.
+  Injector inj(mixed_config(31));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) inj.next(Site::kDmaResult);
+    });
+  for (auto& th : threads) th.join();
+  std::vector<int> seen(8 * 200, 0);
+  for (const FaultEvent& ev : inj.events()) {
+    ASSERT_LT(ev.seq, seen.size());
+    ++seen[ev.seq];
+    EXPECT_EQ(ev.action, inj.decide(ev.site, ev.seq));
+  }
+  for (std::uint64_t seq = 0; seq < seen.size(); ++seq) {
+    const bool fires = inj.decide(Site::kDmaResult, seq) != Action::kNone;
+    EXPECT_EQ(seen[seq], fires ? 1 : 0) << "seq " << seq;
+  }
+}
+
+TEST(Injector, DelaySecondsComesFromSiteConfig) {
+  InjectorConfig cfg;
+  cfg.net.delay_us = 1500;
+  cfg.pcie.delay_us = 250;
+  Injector inj(cfg);
+  EXPECT_DOUBLE_EQ(inj.delay_seconds(Site::kNetMessage), 1500e-6);
+  EXPECT_DOUBLE_EQ(inj.delay_seconds(Site::kPcieLink), 250e-6);
+}
+
+TEST(Injector, ScriptedScenarioQueries) {
+  InjectorConfig cfg;
+  cfg.dead_card = 1;
+  cfg.card_death_after = 3;
+  cfg.dead_rank = 2;
+  cfg.rank_death_after = 10;
+  cfg.slow_rank = 0;
+  cfg.slow_rank_us = 400;
+  Injector inj(cfg);
+  EXPECT_FALSE(inj.card_dies(0, 100));
+  EXPECT_FALSE(inj.card_dies(1, 2));
+  EXPECT_TRUE(inj.card_dies(1, 3));
+  EXPECT_FALSE(inj.rank_dies(2, 9));
+  EXPECT_TRUE(inj.rank_dies(2, 10));
+  EXPECT_FALSE(inj.rank_dies(0, 10000));
+  EXPECT_DOUBLE_EQ(inj.rank_stall_us(0), 400.0);
+  EXPECT_DOUBLE_EQ(inj.rank_stall_us(1), 0.0);
+}
+
+TEST(Injector, NoteKillEntersEventLog) {
+  Injector inj(InjectorConfig{});
+  inj.note_kill(Site::kDmaRequest, 7);
+  ASSERT_EQ(inj.events().size(), 1u);
+  EXPECT_EQ(inj.events()[0].action, Action::kKill);
+  EXPECT_EQ(inj.events()[0].seq, 7u);
+  EXPECT_EQ(inj.count(Site::kDmaRequest, Action::kKill), 1u);
+}
+
+TEST(Injector, SleepLoggedBecomesFaultSpan) {
+  Injector inj(InjectorConfig{});
+  inj.sleep_logged(Site::kNetMessage, 2e-3);
+  inj.sleep_logged(Site::kPcieLink, 1e-3);
+  trace::Timeline tl;
+  inj.flush_spans(tl, /*lane_base=*/4);
+  ASSERT_EQ(tl.spans().size(), 2u);
+  for (const trace::Span& s : tl.spans()) {
+    EXPECT_EQ(s.kind, trace::SpanKind::kFault);
+    EXPECT_GT(s.duration(), 0.0);
+  }
+  EXPECT_EQ(tl.spans()[0].lane, 4 + static_cast<std::size_t>(Site::kNetMessage));
+  EXPECT_EQ(tl.spans()[1].lane, 4 + static_cast<std::size_t>(Site::kPcieLink));
+  EXPECT_GE(tl.spans()[0].duration(), 1e-3);
+}
+
+TEST(Injector, SiteAndActionNames) {
+  EXPECT_STREQ(site_name(Site::kDmaRequest), "dma-request");
+  EXPECT_STREQ(site_name(Site::kDmaResult), "dma-result");
+  EXPECT_STREQ(site_name(Site::kPcieLink), "pcie-link");
+  EXPECT_STREQ(site_name(Site::kNetMessage), "net-message");
+  EXPECT_STREQ(action_name(Action::kNone), "none");
+  EXPECT_STREQ(action_name(Action::kDelay), "delay");
+  EXPECT_STREQ(action_name(Action::kDrop), "drop");
+  EXPECT_STREQ(action_name(Action::kDuplicate), "duplicate");
+  EXPECT_STREQ(action_name(Action::kCorrupt), "corrupt");
+  EXPECT_STREQ(action_name(Action::kKill), "kill");
+}
+
+}  // namespace
+}  // namespace xphi::fault

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
+
+#include "fault/injector.h"
 
 namespace xphi::pci {
 namespace {
@@ -85,6 +89,133 @@ TEST(BlockingQueue, MoveOnlyPayload) {
   auto v = q.dequeue();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 42);
+}
+
+TEST(BlockingQueue, DequeueForTimesOutOnEmptyQueue) {
+  BlockingQueue<int> q;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.dequeue_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(20));
+}
+
+TEST(BlockingQueue, DequeueForReturnsAvailableItemImmediately) {
+  BlockingQueue<int> q;
+  q.enqueue(9);
+  EXPECT_EQ(q.dequeue_for(std::chrono::milliseconds(0)), 9);
+  // And an item arriving mid-wait is picked up before the timeout.
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.enqueue(10);
+  });
+  EXPECT_EQ(q.dequeue_for(std::chrono::seconds(10)), 10);
+  producer.join();
+}
+
+TEST(BlockingQueue, DequeueForDrainsThenEndsAfterClose) {
+  BlockingQueue<int> q;
+  q.enqueue(1);
+  q.close();
+  EXPECT_EQ(q.dequeue_for(std::chrono::milliseconds(1)), 1);
+  EXPECT_FALSE(q.dequeue_for(std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(BlockingQueue, CloseWhileFullReleasesBlockedProducers) {
+  // Regression: producers blocked on a full queue must be released by
+  // close() with a failed enqueue, and the items already accepted must
+  // still drain in FIFO order before dequeue reports end-of-stream.
+  BlockingQueue<int> q(2);
+  ASSERT_TRUE(q.enqueue(1));
+  ASSERT_TRUE(q.enqueue(2));
+  std::atomic<int> blocked_results{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < 3; ++i)
+    producers.emplace_back([&, i] {
+      if (!q.enqueue(100 + i)) blocked_results.fetch_add(1);
+    });
+  while (q.size() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(blocked_results.load(), 3);  // none of the blocked sends landed
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(BlockingQueue, FaultDropLosesPayloadButAcceptsDescriptor) {
+  fault::InjectorConfig fc;
+  fc.dma_request.drop = 1.0;
+  fault::Injector inj(fc);
+  BlockingQueue<int> q;
+  q.attach_faults(&inj, fault::Site::kDmaRequest);
+  EXPECT_TRUE(q.enqueue(1));  // producer sees success...
+  EXPECT_EQ(q.size(), 0u);    // ...but nothing arrived
+  EXPECT_EQ(inj.count(fault::Site::kDmaRequest, fault::Action::kDrop), 1u);
+}
+
+TEST(BlockingQueue, FaultDuplicateDeliversTwice) {
+  fault::InjectorConfig fc;
+  fc.dma_result.duplicate = 1.0;
+  fault::Injector inj(fc);
+  BlockingQueue<int> q;
+  q.attach_faults(&inj, fault::Site::kDmaResult);
+  EXPECT_TRUE(q.enqueue(7));
+  EXPECT_EQ(q.dequeue(), 7);
+  EXPECT_EQ(q.dequeue(), 7);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, FaultCorruptAppliesMutator) {
+  fault::InjectorConfig fc;
+  fc.dma_request.corrupt = 1.0;
+  fault::Injector inj(fc);
+  BlockingQueue<int> q;
+  q.attach_faults(&inj, fault::Site::kDmaRequest);
+  q.set_corruptor([](int& v) { v ^= 0xFF; });
+  q.enqueue(0);
+  EXPECT_EQ(q.dequeue(), 0xFF);
+  // Without a mutator kCorrupt degrades to delivery-as-is.
+  BlockingQueue<int> plain;
+  plain.attach_faults(&inj, fault::Site::kDmaRequest);
+  plain.enqueue(5);
+  EXPECT_EQ(plain.dequeue(), 5);
+}
+
+TEST(BlockingQueue, MoveOnlyPayloadSkipsDuplicateFault) {
+  // kDuplicate on a move-only payload can't copy; delivery degrades to one.
+  fault::InjectorConfig fc;
+  fc.dma_result.duplicate = 1.0;
+  fault::Injector inj(fc);
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.attach_faults(&inj, fault::Site::kDmaResult);
+  q.enqueue(std::make_unique<int>(3));
+  auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(PcieLink, DegradedTransferAddsInjectedLatency) {
+  fault::InjectorConfig fc;
+  fc.pcie.delay = 1.0;
+  fc.pcie.delay_us = 500;
+  fault::Injector inj(fc);
+  PcieLink link;
+  const double clean = link.transfer_seconds(1e6);
+  EXPECT_DOUBLE_EQ(link.degraded_transfer_seconds(1e6), clean);  // unarmed
+  link.attach_faults(&inj);
+  EXPECT_DOUBLE_EQ(link.degraded_transfer_seconds(1e6), clean + 500e-6);
+}
+
+TEST(PcieLink, DegradedTransferDropCostsARetransmit) {
+  fault::InjectorConfig fc;
+  fc.pcie.drop = 1.0;
+  fault::Injector inj(fc);
+  PcieLink link;
+  link.attach_faults(&inj);
+  const double clean = link.transfer_seconds(1e6);
+  EXPECT_DOUBLE_EQ(link.degraded_transfer_seconds(1e6), 2 * clean);
 }
 
 }  // namespace
