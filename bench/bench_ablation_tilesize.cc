@@ -43,7 +43,7 @@ int main() {
     auto run_fixed = [&](std::size_t tile) {
       core::OffloadDgemmConfig cfg;
       cfg.m = cfg.n = n;
-      cfg.mt = cfg.nt = tile;
+      cfg.knobs.mt = cfg.knobs.nt = tile;
       return core::simulate_offload_dgemm(cfg, knc, snb, link);
     };
     core::OffloadDgemmConfig cfg;

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # One-stop verification gate: builds everything, runs the tier-1 ctest
 # suite, re-runs the labelled subsets that exercise the messaging layer
-# (-L net) and the fault-injection chaos harness (-L fault), then repeats
-# the concurrency-bearing suites under ThreadSanitizer. Exits non-zero on
-# the first failure; CI-runnable.
+# (-L net), the fault-injection chaos harness (-L fault) and the autotuning
+# subsystem (-L tune), then repeats the concurrency-bearing suites under
+# ThreadSanitizer. Exits non-zero on the first failure; CI-runnable.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +21,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
 
 echo "== ctest -L fault =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L fault
+
+echo "== ctest -L tune =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L tune
 
 echo "== ThreadSanitizer =="
 "$(dirname "$0")/run_tsan.sh"

@@ -17,7 +17,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_lu test_core test_net test_hpl test_fault
+  --target test_util test_blas test_lu test_core test_net test_hpl test_fault test_tune
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
@@ -27,5 +27,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_net"  # whole messaging layer, incl. collectives
 "$BUILD_DIR/tests/test_hpl" --gtest_filter='DistributedHpl.Lookahead*:DistributedHpl.Pipelined*:DistributedHpl.CommStats*:DistributedHpl.DistributedResidual*'
 "$BUILD_DIR/tests/test_fault"  # injector determinism + the whole chaos harness
+# Tuned knobs feed the threaded offload engine and the DAG LU executor: the
+# consumer-integration tests re-run those engines with DB-supplied knobs.
+"$BUILD_DIR/tests/test_tune" --gtest_filter='Consumers.*'
 
 echo "TSan: all monitored suites clean."

@@ -18,6 +18,8 @@
 #include "core/tile_grid.h"
 #include "fault/injector.h"
 #include "pci/queue.h"
+#include "tune/bucket.h"
+#include "tune/tuner.h"
 
 namespace xphi::core {
 
@@ -115,7 +117,20 @@ FunctionalOffloadStats offload_gemm_functional(
     MatrixView<double> c, const FunctionalOffloadConfig& cfg) {
   FunctionalOffloadStats stats;
   const std::size_t k = a.cols();
-  TileGrid grid(c.rows(), c.cols(), cfg.mt, cfg.nt, cfg.merge_partial_tiles);
+  tune::Knobs knobs = cfg.knobs;
+  if (cfg.tuner != nullptr) {
+    if (const auto tuned = cfg.tuner->best(
+            "offload_functional", tune::bucket(c.rows(), c.cols(), k))) {
+      if (tuned->mt != 0) knobs.mt = tuned->mt;
+      if (tuned->nt != 0) knobs.nt = tuned->nt;
+      if (tuned->pack_cache_entries != 0)
+        knobs.pack_cache_entries = tuned->pack_cache_entries;
+    }
+  }
+  if (knobs.mt == 0) knobs.mt = 64;
+  if (knobs.nt == 0) knobs.nt = 64;
+  TileGrid grid(c.rows(), c.cols(), knobs.mt, knobs.nt,
+                cfg.merge_partial_tiles);
   stats.tiles_total = grid.count();
 
   fault::Injector* const inj = cfg.injector;
@@ -253,7 +268,10 @@ FunctionalOffloadStats offload_gemm_functional(
   // pack operands into the Knights Corner format, enqueue. The cache bounds
   // live packs to a few panels beyond the tiles in flight; a grid row's
   // A panel and a grid column's B panel are each packed exactly once.
-  blas::PackCache<double> packs(2 * grid.row_tiles() + 2 * grid.col_tiles());
+  blas::PackCache<double> packs(
+      knobs.pack_cache_entries != 0
+          ? knobs.pack_cache_entries
+          : 2 * grid.row_tiles() + 2 * grid.col_tiles());
   auto send = [&](std::size_t idx, int attempt,
                   std::shared_ptr<const blas::PackedA<double>> pa,
                   std::shared_ptr<const blas::PackedB<double>> pb) {

@@ -23,16 +23,29 @@
 
 #include <cstddef>
 
+#include "tune/knobs.h"
 #include "util/matrix.h"
 
 namespace xphi::fault {
 class Injector;
 }
 
+namespace xphi::tune {
+class Tuner;
+}
+
 namespace xphi::core {
 
 struct FunctionalOffloadConfig {
-  std::size_t mt = 64, nt = 64;  // tile size
+  /// Shared knob record (tune/knobs.h) — the same struct the simulated
+  /// offload DGEMM uses, so the tile fields exist exactly once:
+  /// knobs.mt/.nt size the tile grid and knobs.pack_cache_entries caps the
+  /// operand PackCache (0 = derived from the grid).
+  tune::Knobs knobs{.mt = 64, .nt = 64};
+  /// Optional tuning database: a stored "offload_functional" entry for this
+  /// shape bucket overrides the knobs above (tile size and cache capacity
+  /// change throughput, never a bit of the result).
+  const tune::Tuner* tuner = nullptr;
   int cards = 1;
   bool host_steals = true;
   bool merge_partial_tiles = true;

@@ -1,5 +1,8 @@
 #include "lu/native_linpack.h"
 
+#include "tune/bucket.h"
+#include "tune/tuner.h"
+
 namespace xphi::lu {
 
 NativeLinpackReport run_native_linpack(std::size_t n_functional,
@@ -24,8 +27,18 @@ NativeLinpackReport run_native_linpack(std::size_t n_functional,
   cfg.nb = options.nb;
   cfg.capture_timeline = options.capture_timeline;
   if (options.scheduler == Scheduler::kDynamic) {
+    int max_group = 0;
+    std::size_t period = 1;
+    if (options.tuner != nullptr) {
+      if (const auto tuned = options.tuner->best(
+              "native_lu", tune::bucket(cfg.n, cfg.n, cfg.nb))) {
+        max_group = tuned->superstage_max_group;
+        if (tuned->superstage_period > 0) period = tuned->superstage_period;
+      }
+    }
     const auto plan = model_tuned_plan(model, cfg.n, cfg.nb,
-                                       model.spec().compute_cores());
+                                       model.spec().compute_cores(), max_group,
+                                       period);
     report.projected = simulate_dynamic_lu(cfg, model, plan);
   } else {
     report.projected = simulate_static_lookahead_lu(cfg, model);

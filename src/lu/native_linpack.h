@@ -11,6 +11,10 @@
 #include "lu/functional.h"
 #include "lu/sim_scheduler.h"
 
+namespace xphi::tune {
+class Tuner;
+}
+
 namespace xphi::lu {
 
 enum class Scheduler { kDynamic, kStaticLookahead };
@@ -24,6 +28,11 @@ struct NativeLinpackOptions {
   std::uint64_t seed = 42;
   // Projection:
   bool capture_timeline = false;
+  /// Optional tuning database (tune/tuner.h): a stored "native_lu" entry for
+  /// this projection's bucket supplies the super-stage plan's group-core cap
+  /// and regroup period (tune::Knobs::superstage_*). Only the kDynamic
+  /// scheduler consults it; null = the paper's defaults.
+  const tune::Tuner* tuner = nullptr;
 };
 
 struct NativeLinpackReport {

@@ -325,8 +325,13 @@ NativeLuResult simulate_static_lookahead_lu(const NativeLuConfig& cfg,
 }
 
 ThreadPlan model_tuned_plan(const sim::KncLuModel& model, std::size_t n,
-                            std::size_t nb, int total_cores) {
+                            std::size_t nb, int total_cores,
+                            int max_group_cores, std::size_t regroup_period) {
   const std::size_t num_panels = ceil_div(n, nb);
+  const int cap = max_group_cores > 0
+                      ? std::min(max_group_cores, std::max(1, total_cores / 2))
+                      : std::max(1, total_cores / 2);
+  const std::size_t period = std::max<std::size_t>(1, regroup_period);
   std::vector<SuperStage> stages;
   int current = 0;
   for (std::size_t s = 0; s < num_panels; ++s) {
@@ -339,18 +344,23 @@ ThreadPlan model_tuned_plan(const sim::KncLuModel& model, std::size_t n,
             ? model.update_gemm_seconds(width, width, std::min(nb, rows),
                                         total_cores)
             : 0.0;
-    int g = total_cores / 2;
-    for (int c = 1; c <= total_cores / 2; c *= 2) {
+    int g = cap;
+    for (int c = 1; c <= cap; c *= 2) {
       if (model.panel_seconds(rows, std::min(nb, rows), c) <= budget) {
         g = c;
         break;
       }
     }
     if (g > current) {
-      if (!stages.empty() && stages.back().first_stage == s)
-        stages.back().group_cores = g;
+      // Regrouping only happens on period boundaries: growth requested
+      // mid-period starts at the next multiple (s = 0 is always a boundary).
+      std::size_t start = s;
+      if (start % period != 0) start += period - start % period;
+      if (start >= num_panels) continue;
+      if (!stages.empty() && stages.back().first_stage == start)
+        stages.back().group_cores = std::max(stages.back().group_cores, g);
       else
-        stages.push_back({s, g});
+        stages.push_back({start, g});
       current = g;
     }
   }

@@ -1,0 +1,49 @@
+// Shape bucketing for tuning-database keys.
+//
+// Tuned knobs generalize across nearby problem shapes but not across orders
+// of magnitude, so the DB keys shapes by a geometric bucket rather than the
+// exact extents: each extent rounds up to the next power of two. Shapes
+// within the same 2x band share one entry — an 82000x82000 trailing update
+// warm-starts a 70000x70000 one — while a tiny ragged panel can never alias
+// a full-size update. The same helper keys both the TuningDB and the offload
+// engines' candidate lookups, so a knob tuned through one path is found by
+// the other.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace xphi::tune {
+
+/// Smallest power of two >= d (0 stays 0: a degenerate extent is its own
+/// bucket). Saturates at the top bit rather than overflowing.
+constexpr std::size_t bucket_extent(std::size_t d) noexcept {
+  if (d <= 1) return d;
+  constexpr std::size_t kTop = std::size_t{1}
+                               << (8 * sizeof(std::size_t) - 1);
+  if (d > kTop) return kTop;
+  std::size_t b = 1;
+  while (b < d) b <<= 1;
+  return b;
+}
+
+struct ShapeBucket {
+  std::size_t m = 0, n = 0, k = 0;
+
+  bool operator==(const ShapeBucket&) const = default;
+
+  /// Stable string form used as the DB key: "m<..>_n<..>_k<..>".
+  std::string key() const {
+    return "m" + std::to_string(m) + "_n" + std::to_string(n) + "_k" +
+           std::to_string(k);
+  }
+};
+
+/// Bucket for a C(m x n) += A(m x k) * B(k x n)-shaped problem (LU-style
+/// consumers pass n for both m and n and the panel width as k).
+constexpr ShapeBucket bucket(std::size_t m, std::size_t n,
+                             std::size_t k) noexcept {
+  return ShapeBucket{bucket_extent(m), bucket_extent(n), bucket_extent(k)};
+}
+
+}  // namespace xphi::tune

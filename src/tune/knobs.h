@@ -1,0 +1,103 @@
+// The unified performance-knob record shared by every tunable engine.
+//
+// Before this subsystem each engine carried its own copy of the knobs it
+// cared about (OffloadDgemmConfig{mt,nt} and FunctionalOffloadConfig{mt,nt}
+// were two parallel copies of the same tile fields; pack-cache capacity,
+// DGEMM k-chunking, the super-stage regrouping policy and the look-ahead
+// scheme were hard-coded at their call sites). tune::Knobs is the single
+// struct those engines now embed or consult, and it is also the decoded form
+// of a TuningDB entry: Tuner::best() returns one.
+//
+// Field value 0 (or -1 for `lookahead`) means "not set": the consumer keeps
+// its own default. That convention is what lets a DB entry tuned for one
+// engine carry only the knobs that engine searched over.
+//
+// Registering a new knob is three edits (documented in DESIGN.md §10):
+// add the field here with a "not set" default, name it in knob_names() /
+// knobs_from_values() / values_from_knobs(), and give it a candidate list in
+// search_space.h's canonical spaces. Old DB files keep loading: unknown
+// names in a file are ignored, missing names stay "not set".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xphi::tune {
+
+struct Knobs {
+  // Offload C-tile extents (paper Section V-B's runtime-adaptive (Mt, Nt)).
+  std::size_t mt = 0;  // 0 = engine default / runtime-adaptive
+  std::size_t nt = 0;
+  // blas::PackCache capacity for the functional offload engine.
+  std::size_t pack_cache_entries = 0;  // 0 = derived from the tile grid
+  // gemm_tiled k-chunk (the paper's outer-product panel depth k).
+  std::size_t chunk_k = 0;  // 0 = engine default (300)
+  // Super-stage regrouping policy of the native LU dynamic scheduler:
+  // cap on the per-group core count, and the stage quantum at which the
+  // grouping may be revised (1 = revise whenever the model asks).
+  int superstage_max_group = 0;     // 0 = total_cores / 2 (the paper's cap)
+  std::size_t superstage_period = 0;  // 0 = revise at any stage
+  // Hybrid-HPL look-ahead scheme (core::Lookahead: 0 none, 1 basic,
+  // 2 pipelined) and the pipelined scheme's column-subset count.
+  int lookahead = -1;       // -1 = caller default
+  int pipeline_subsets = 0;  // 0 = caller default
+};
+
+/// Name/value pairs, one per *set* field — the encoded form a TuningDB entry
+/// stores. Inverse of knobs_from_values for set fields.
+inline std::vector<std::pair<std::string, long long>> values_from_knobs(
+    const Knobs& k) {
+  std::vector<std::pair<std::string, long long>> v;
+  if (k.mt != 0) v.emplace_back("mt", static_cast<long long>(k.mt));
+  if (k.nt != 0) v.emplace_back("nt", static_cast<long long>(k.nt));
+  if (k.pack_cache_entries != 0)
+    v.emplace_back("pack_cache_entries",
+                   static_cast<long long>(k.pack_cache_entries));
+  if (k.chunk_k != 0)
+    v.emplace_back("chunk_k", static_cast<long long>(k.chunk_k));
+  if (k.superstage_max_group != 0)
+    v.emplace_back("superstage_max_group", k.superstage_max_group);
+  if (k.superstage_period != 0)
+    v.emplace_back("superstage_period",
+                   static_cast<long long>(k.superstage_period));
+  if (k.lookahead >= 0) v.emplace_back("lookahead", k.lookahead);
+  if (k.pipeline_subsets != 0)
+    v.emplace_back("pipeline_subsets", k.pipeline_subsets);
+  return v;
+}
+
+/// Decodes stored name/value pairs into a Knobs record. Unknown names are
+/// ignored (forward compatibility: a newer DB read by older code), negative
+/// values for size-typed knobs are ignored rather than wrapped.
+inline Knobs knobs_from_values(
+    const std::vector<std::pair<std::string, long long>>& values) {
+  Knobs k;
+  for (const auto& [name, v] : values) {
+    if (name == "lookahead") {
+      if (v >= 0 && v <= 2) k.lookahead = static_cast<int>(v);
+      continue;
+    }
+    if (v < 0) continue;
+    if (name == "mt") {
+      k.mt = static_cast<std::size_t>(v);
+    } else if (name == "nt") {
+      k.nt = static_cast<std::size_t>(v);
+    } else if (name == "pack_cache_entries") {
+      k.pack_cache_entries = static_cast<std::size_t>(v);
+    } else if (name == "chunk_k") {
+      k.chunk_k = static_cast<std::size_t>(v);
+    } else if (name == "superstage_max_group") {
+      k.superstage_max_group = static_cast<int>(v);
+    } else if (name == "superstage_period") {
+      k.superstage_period = static_cast<std::size_t>(v);
+    } else if (name == "pipeline_subsets") {
+      k.pipeline_subsets = static_cast<int>(v);
+    }
+    // Unknown knob names: skip.
+  }
+  return k;
+}
+
+}  // namespace xphi::tune

@@ -1,0 +1,114 @@
+#include "tune/search_space.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace xphi::tune {
+
+SearchSpace& SearchSpace::add(std::string name, std::vector<long long> values,
+                              long long default_value) {
+  KnobRange r;
+  r.name = std::move(name);
+  r.values = std::move(values);
+  if (r.values.empty()) r.values.push_back(default_value);
+  const auto it =
+      std::find(r.values.begin(), r.values.end(), default_value);
+  r.default_index =
+      it != r.values.end()
+          ? static_cast<std::size_t>(it - r.values.begin())
+          : 0;
+  dims_.push_back(std::move(r));
+  return *this;
+}
+
+std::vector<std::size_t> SearchSpace::default_point() const {
+  std::vector<std::size_t> p(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) p[d] = dims_[d].default_index;
+  return p;
+}
+
+std::vector<long long> SearchSpace::values_at(
+    const std::vector<std::size_t>& point) const {
+  std::vector<long long> v(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const std::size_t i =
+        d < point.size() ? std::min(point[d], dims_[d].values.size() - 1)
+                         : dims_[d].default_index;
+    v[d] = dims_[d].values[i];
+  }
+  return v;
+}
+
+std::size_t SearchSpace::nearest_index(std::size_t d, long long value) const {
+  const auto& vals = dims_[d].values;
+  std::size_t best = 0;
+  unsigned long long best_dist = std::numeric_limits<unsigned long long>::max();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    const unsigned long long dist =
+        vals[i] > value ? static_cast<unsigned long long>(vals[i] - value)
+                        : static_cast<unsigned long long>(value - vals[i]);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t SearchSpace::points() const noexcept {
+  std::size_t total = 1;
+  for (const auto& d : dims_) {
+    if (total > std::numeric_limits<std::size_t>::max() / d.values.size())
+      return std::numeric_limits<std::size_t>::max();
+    total *= d.values.size();
+  }
+  return total;
+}
+
+namespace spaces {
+
+SearchSpace offload_tiles() {
+  SearchSpace s;
+  const std::vector<long long> tiles{1200, 2400, 3600, 4800, 7200, 9600};
+  s.add("mt", tiles, 4800);
+  s.add("nt", tiles, 4800);
+  return s;
+}
+
+SearchSpace functional_offload() {
+  SearchSpace s;
+  const std::vector<long long> tiles{16, 24, 32, 48, 64, 96, 128};
+  s.add("mt", tiles, 64);
+  s.add("nt", tiles, 64);
+  s.add("pack_cache_entries", {8, 16, 32, 64, 128}, 64);
+  return s;
+}
+
+SearchSpace gemm_chunk() {
+  SearchSpace s;
+  s.add("chunk_k", {120, 180, 240, 300, 340, 400, 480, 600}, 300);
+  return s;
+}
+
+SearchSpace superstage(int total_cores) {
+  SearchSpace s;
+  const long long cap = std::max(1, total_cores / 2);
+  std::vector<long long> groups;
+  for (long long g = 2; g < cap; g *= 2) groups.push_back(g);
+  groups.push_back(cap);  // the paper's default cap: half the device
+  s.add("superstage_max_group", groups, cap);
+  s.add("superstage_period", {1, 2, 4, 8}, 1);
+  return s;
+}
+
+SearchSpace lookahead() {
+  SearchSpace s;
+  s.add("lookahead", {0, 1, 2}, 2);
+  s.add("pipeline_subsets", {2, 4, 8, 12, 16}, 8);
+  return s;
+}
+
+}  // namespace spaces
+
+}  // namespace xphi::tune

@@ -1,0 +1,77 @@
+// Declarative search spaces for the repo's performance knobs.
+//
+// A SearchSpace is an ordered list of named dimensions, each with an ordered
+// candidate list and a default index. The search engine (tuner.h) works in
+// index space — a point is one candidate index per dimension — so the space
+// is finite, enumerable and cheap to hash; values_at() maps a point back to
+// the knob values an evaluation callback consumes.
+//
+// The canonical spaces below cover the knobs that were previously hard-coded
+// or ad hoc per call site: the offload (Mt, Nt) candidate table, the
+// functional engine's tile and PackCache capacity, gemm_tiled's k-chunk (the
+// Table II sweep), the super-stage regrouping policy, and the hybrid-HPL
+// look-ahead scheme. Registering a new knob = adding a dimension (or a new
+// space) here with the name knobs.h recognizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xphi::tune {
+
+struct KnobRange {
+  std::string name;
+  std::vector<long long> values;  // ordered candidates
+  std::size_t default_index = 0;
+};
+
+class SearchSpace {
+ public:
+  /// Adds a dimension. `default_value` must be one of `values` (falls back
+  /// to the first candidate if not). Returns *this for chaining.
+  SearchSpace& add(std::string name, std::vector<long long> values,
+                   long long default_value);
+
+  std::size_t dims() const noexcept { return dims_.size(); }
+  const KnobRange& dim(std::size_t i) const { return dims_[i]; }
+
+  /// One candidate index per dimension, all at their defaults.
+  std::vector<std::size_t> default_point() const;
+
+  /// Knob values of `point` (one index per dimension, clamped).
+  std::vector<long long> values_at(const std::vector<std::size_t>& point) const;
+
+  /// Index of the candidate in dimension `d` closest to `value` (ties go to
+  /// the smaller candidate) — how a model-computed seed snaps to the space.
+  std::size_t nearest_index(std::size_t d, long long value) const;
+
+  /// Total number of points (product of dimension sizes, saturating).
+  std::size_t points() const noexcept;
+
+ private:
+  std::vector<KnobRange> dims_;
+};
+
+/// Canonical spaces for the existing knobs.
+namespace spaces {
+
+/// Offload DGEMM (Mt, Nt): the paper's candidate tile table.
+SearchSpace offload_tiles();
+
+/// Functional offload engine: host-scale tiles plus PackCache capacity.
+SearchSpace functional_offload();
+
+/// gemm_tiled / outer-product panel depth k (Table II's sweep values).
+SearchSpace gemm_chunk();
+
+/// Native LU super-stage regrouping: per-group core cap (powers of two up
+/// to total_cores / 2) and the stage quantum between regroupings.
+SearchSpace superstage(int total_cores);
+
+/// Hybrid HPL look-ahead scheme and pipelined column-subset count.
+SearchSpace lookahead();
+
+}  // namespace spaces
+
+}  // namespace xphi::tune

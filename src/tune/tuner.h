@@ -1,0 +1,113 @@
+// The Tuner: model-seeded, budgeted, deterministic empirical search over a
+// SearchSpace, backed by a persistent TuningDB.
+//
+// The search engine is a coordinate descent (exact line search per
+// dimension, sweeping until a full sweep stops improving) restarted from a
+// fixed number of seeded random points. It is deliberately wall-clock-free:
+// every decision depends only on (space, evaluation results, seed), so the
+// same inputs reproduce the same trace bit for bit — the property the
+// determinism tests pin. Cost is whatever the evaluation callback returns
+// (lower is better; the built-in consumers return modeled or measured
+// seconds). Evaluations are memoized, and only distinct points count
+// against the budget.
+//
+// The evaluation callback is the abstraction boundary: tests and the
+// default drivers evaluate through the src/sim cost models (deterministic),
+// while bench_tune's functional-engine op passes a wall-clock measurement
+// callback — same engine, different oracle.
+//
+// Tuner::tune() stores the winner in the DB under
+// (machine fingerprint, op, shape bucket); Tuner::best() is the consumer
+// side — offload_dgemm, the functional offload engine, hybrid HPL and
+// native Linpack consult it before falling back to their built-in defaults,
+// so a warm-started run reproduces the tuned choices without searching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tune/bucket.h"
+#include "tune/knobs.h"
+#include "tune/search_space.h"
+#include "tune/tuning_db.h"
+
+namespace xphi::sim {
+struct MachineSpec;
+}
+
+namespace xphi::tune {
+
+/// Deterministic hardware fingerprint of a (host, card) pair.
+std::string fingerprint(const sim::MachineSpec& host,
+                        const sim::MachineSpec& card);
+/// Fingerprint of the default modeled pair (SNB EP host + KNC card).
+std::string default_fingerprint();
+
+struct SearchOptions {
+  /// Max distinct evaluations (memoized re-visits are free). Clamped to >= 1.
+  int budget = 48;
+  /// Seed of the restart stream; same seed => same trace.
+  std::uint64_t seed = 1;
+  /// Seeded random restarts after the initial descent.
+  int restarts = 2;
+  /// Start point (one candidate index per dimension), typically the
+  /// analytical model's pick snapped via SearchSpace::nearest_index.
+  /// Empty = the space's defaults.
+  std::vector<std::size_t> start;
+};
+
+struct TraceEntry {
+  std::vector<long long> values;  // knob values evaluated
+  double cost = 0;
+  bool improved = false;  // strictly better than everything before it
+};
+
+struct SearchResult {
+  std::vector<long long> best;  // knob value per dimension
+  double best_cost = 0;
+  double start_cost = 0;  // cost of the (model-seeded) start point
+  std::size_t evaluations = 0;
+  std::vector<TraceEntry> trace;  // every evaluation, in order
+};
+
+class Tuner {
+ public:
+  /// `machine` scopes every DB read/write; defaults to this build's modeled
+  /// host+card pair.
+  explicit Tuner(std::string machine = default_fingerprint());
+
+  const std::string& machine() const noexcept { return machine_; }
+  TuningDB& db() noexcept { return db_; }
+  const TuningDB& db() const noexcept { return db_; }
+
+  /// Merge a DB file from disk (see TuningDB::load). False = rejected file;
+  /// the tuner keeps working from defaults.
+  bool load(const std::string& path) { return db_.load(path); }
+  bool save(const std::string& path) const { return db_.save(path); }
+
+  using EvalFn = std::function<double(const std::vector<long long>&)>;
+
+  /// Pure search: no DB interaction.
+  SearchResult search(const SearchSpace& space, const EvalFn& eval,
+                      const SearchOptions& options = {}) const;
+
+  /// Search, then store the winner under (machine, op, bucket) — merged
+  /// against any existing entry (lower cost wins).
+  SearchResult tune(const std::string& op, const ShapeBucket& shape,
+                    const SearchSpace& space, const EvalFn& eval,
+                    const SearchOptions& options = {});
+
+  /// Decoded DB entry for (machine, op, bucket); nullopt when absent — the
+  /// consumer falls back to its defaults.
+  std::optional<Knobs> best(const std::string& op,
+                            const ShapeBucket& shape) const;
+
+ private:
+  std::string machine_;
+  TuningDB db_;
+};
+
+}  // namespace xphi::tune

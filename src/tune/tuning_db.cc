@@ -1,0 +1,357 @@
+#include "tune/tuning_db.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace xphi::tune {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. The writer below emits a small, fixed shape, but the
+// reader must survive arbitrary bytes (a truncated write, a hand-edited
+// file, garbage): it is a bounds-checked recursive descent with a depth cap
+// that reports failure instead of recursing, throwing or reading past the
+// buffer.
+
+struct JValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : s_(text) {}
+
+  bool parse(JValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return i_ == s_.size();  // trailing garbage = corrupt
+  }
+
+ private:
+  static constexpr int kMaxDepth = 16;
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r'))
+      ++i_;
+  }
+  bool eat(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  bool eat_literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) return false;
+    i_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JValue& out, int depth) {
+    if (depth > kMaxDepth || i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.type = JValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = JValue::Type::kBool;
+        out.boolean = true;
+        return eat_literal("true");
+      case 'f':
+        out.type = JValue::Type::kBool;
+        out.boolean = false;
+        return eat_literal("false");
+      case 'n':
+        out.type = JValue::Type::kNull;
+        return eat_literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JValue& out, int depth) {
+    out.type = JValue::Type::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool parse_array(JValue& out, int depth) {
+    out.type = JValue::Type::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      JValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          default: return false;  // \uXXXX etc.: not emitted by the writer
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JValue& out) {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (i_ < s_.size() && s_[i_] >= '0' && s_[i_] <= '9') {
+        ++i_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (i_ < s_.size() && s_[i_] == '.') {
+      ++i_;
+      eat_digits();
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+      eat_digits();
+    }
+    if (!digits) return false;
+    const std::string token(s_.substr(start, i_ - start));
+    char* end = nullptr;
+    out.type = JValue::Type::kNumber;
+    out.number = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size() && std::isfinite(out.number);
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');  // fingerprints/op names never contain these
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+/// Integral knob value out of a JSON number; false when it isn't (close to)
+/// an integer in long long range.
+bool to_integer(double num, long long& out) {
+  if (num < -9.0e18 || num > 9.0e18) return false;
+  const double r = std::nearbyint(num);
+  if (std::abs(num - r) > 1e-6) return false;
+  out = static_cast<long long>(r);
+  return true;
+}
+
+/// Decodes one entry object; false on any structural problem.
+bool decode_entry(const JValue& e, TuningKey& key, TuningEntry& entry) {
+  if (e.type != JValue::Type::kObject) return false;
+  const JValue* machine = e.find("machine");
+  const JValue* op = e.find("op");
+  const JValue* bucket = e.find("bucket");
+  const JValue* cost = e.find("cost");
+  const JValue* knobs = e.find("knobs");
+  if (machine == nullptr || machine->type != JValue::Type::kString ||
+      op == nullptr || op->type != JValue::Type::kString ||
+      bucket == nullptr || bucket->type != JValue::Type::kString ||
+      cost == nullptr || cost->type != JValue::Type::kNumber ||
+      knobs == nullptr || knobs->type != JValue::Type::kObject)
+    return false;
+  key.machine = machine->string;
+  key.op = op->string;
+  key.bucket = bucket->string;
+  entry.cost = cost->number;
+  if (const JValue* budget = e.find("budget");
+      budget != nullptr && budget->type == JValue::Type::kNumber) {
+    if (!to_integer(budget->number, entry.budget)) return false;
+  }
+  for (const auto& [name, v] : knobs->object) {
+    if (v.type != JValue::Type::kNumber) return false;
+    long long value = 0;
+    if (!to_integer(v.number, value)) return false;
+    entry.knobs.emplace_back(name, value);
+  }
+  std::sort(entry.knobs.begin(), entry.knobs.end());
+  return true;
+}
+
+}  // namespace
+
+bool TuningDB::put(const TuningKey& key, TuningEntry entry) {
+  std::sort(entry.knobs.begin(), entry.knobs.end());
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(key, std::move(entry));
+    return true;
+  }
+  if (entry.cost < it->second.cost) {  // merge-on-conflict: lower cost wins
+    it->second = std::move(entry);
+    return true;
+  }
+  return false;
+}
+
+const TuningEntry* TuningDB::find(const TuningKey& key) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+void TuningDB::merge(const TuningDB& other) {
+  for (const auto& [key, entry] : other.entries_) put(key, entry);
+}
+
+bool TuningDB::load_from_string(const std::string& text) {
+  JValue root;
+  if (!JsonReader(text).parse(root) || root.type != JValue::Type::kObject)
+    return false;
+  const JValue* schema = root.find("schema");
+  const JValue* version = root.find("version");
+  const JValue* entries = root.find("entries");
+  if (schema == nullptr || schema->type != JValue::Type::kString ||
+      schema->string != kSchema)
+    return false;
+  if (version == nullptr || version->type != JValue::Type::kNumber ||
+      version->number != static_cast<double>(kVersion))
+    return false;
+  if (entries == nullptr || entries->type != JValue::Type::kArray)
+    return false;
+  // Decode everything before mutating *this: a bad entry rejects the file.
+  std::vector<std::pair<TuningKey, TuningEntry>> decoded;
+  decoded.reserve(entries->array.size());
+  for (const JValue& e : entries->array) {
+    TuningKey key;
+    TuningEntry entry;
+    if (!decode_entry(e, key, entry)) return false;
+    decoded.emplace_back(std::move(key), std::move(entry));
+  }
+  for (auto& [key, entry] : decoded) put(key, std::move(entry));
+  return true;
+}
+
+std::string TuningDB::save_to_string() const {
+  std::string out;
+  out += "{\n  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n  \"version\": " + std::to_string(kVersion) +
+         ",\n  \"entries\": [";
+  bool first_entry = true;
+  for (const auto& [key, entry] : entries_) {
+    out += first_entry ? "\n" : ",\n";
+    first_entry = false;
+    out += "    {\"machine\": ";
+    write_escaped(out, key.machine);
+    out += ", \"op\": ";
+    write_escaped(out, key.op);
+    out += ", \"bucket\": ";
+    write_escaped(out, key.bucket);
+    char num[64];
+    std::snprintf(num, sizeof num, "%.17g", entry.cost);
+    out += ", \"cost\": ";
+    out += num;
+    out += ", \"budget\": " + std::to_string(entry.budget);
+    out += ", \"knobs\": {";
+    bool first_knob = true;
+    for (const auto& [name, value] : entry.knobs) {
+      if (!first_knob) out += ", ";
+      first_knob = false;
+      write_escaped(out, name);
+      out += ": " + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += entries_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool TuningDB::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return read_ok && load_from_string(text);
+}
+
+bool TuningDB::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = save_to_string();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace xphi::tune

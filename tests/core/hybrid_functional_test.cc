@@ -15,8 +15,8 @@ TEST(HybridFunctional, LookaheadPassesResidual) {
   HybridFunctionalConfig cfg;
   cfg.n = 192;
   cfg.nb = 32;
-  cfg.offload.mt = 48;
-  cfg.offload.nt = 48;
+  cfg.offload.knobs.mt = 48;
+  cfg.offload.knobs.nt = 48;
   const auto res = run_functional_hybrid_hpl(cfg);
   EXPECT_TRUE(res.ok);
   EXPECT_LT(res.residual, blas::kHplResidualThreshold);
@@ -73,8 +73,8 @@ TEST(HybridFunctional, TwoCardsAndHostStealing) {
   cfg.nb = 40;
   cfg.offload.cards = 2;
   cfg.offload.host_steals = true;
-  cfg.offload.mt = 40;
-  cfg.offload.nt = 40;
+  cfg.offload.knobs.mt = 40;
+  cfg.offload.knobs.nt = 40;
   const auto res = run_functional_hybrid_hpl(cfg);
   EXPECT_TRUE(res.ok);
 }

@@ -55,8 +55,8 @@ TEST(OffloadFunctional, TwoCards) {
 
 TEST(OffloadFunctional, RaggedShapeWithMergedTiles) {
   FunctionalOffloadConfig cfg;
-  cfg.mt = 50;
-  cfg.nt = 70;
+  cfg.knobs.mt = 50;
+  cfg.knobs.nt = 70;
   cfg.cards = 1;
   cfg.host_steals = true;
   FunctionalOffloadStats stats;
@@ -67,8 +67,8 @@ TEST(OffloadFunctional, RaggedShapeWithMergedTiles) {
 
 TEST(OffloadFunctional, TinyMatrixSingleTile) {
   FunctionalOffloadConfig cfg;
-  cfg.mt = 64;
-  cfg.nt = 64;
+  cfg.knobs.mt = 64;
+  cfg.knobs.nt = 64;
   FunctionalOffloadStats stats;
   expect_offload_matches_ref(10, 12, 8, cfg, &stats);
   EXPECT_EQ(stats.tiles_total, 1u);

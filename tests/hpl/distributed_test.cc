@@ -108,8 +108,8 @@ TEST(DistributedHpl, HybridOffloadEngineMatchesPlainUpdate) {
   // engine (queues + card threads + stealing) must not change the numerics.
   DistributedHplOptions opt;
   opt.use_offload_engine = true;
-  opt.offload.mt = 24;
-  opt.offload.nt = 24;
+  opt.offload.knobs.mt = 24;
+  opt.offload.knobs.nt = 24;
   opt.offload.host_steals = true;
   const auto hybrid = run_distributed_hpl(80, 16, Grid{2, 2}, 61, opt);
   const auto plain = run_distributed_hpl(80, 16, Grid{2, 2}, 61);
@@ -125,8 +125,8 @@ TEST(DistributedHpl, HybridOffloadTwoCardsPerRank) {
   DistributedHplOptions opt;
   opt.use_offload_engine = true;
   opt.offload.cards = 2;
-  opt.offload.mt = 20;
-  opt.offload.nt = 20;
+  opt.offload.knobs.mt = 20;
+  opt.offload.knobs.nt = 20;
   const auto res = run_distributed_hpl(72, 12, Grid{1, 2}, 77, opt);
   EXPECT_TRUE(res.ok);
   EXPECT_LT(res.solve_agreement, 1e-10);
@@ -294,8 +294,8 @@ TEST(DistributedHpl, LookaheadWithOffloadEngine) {
   DistributedHplOptions opt;
   opt.lookahead = Lookahead::kBasic;
   opt.use_offload_engine = true;
-  opt.offload.mt = 20;
-  opt.offload.nt = 20;
+  opt.offload.knobs.mt = 20;
+  opt.offload.knobs.nt = 20;
   const auto res = run_distributed_hpl(72, 12, Grid{2, 2}, 19, opt);
   ASSERT_TRUE(res.ok);
   EXPECT_LT(res.solve_agreement, 1e-10);

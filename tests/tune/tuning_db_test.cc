@@ -1,0 +1,164 @@
+#include "tune/tuning_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace xphi::tune {
+namespace {
+
+TuningEntry make_entry(double cost) {
+  TuningEntry e;
+  e.knobs = {{"mt", 4800}, {"nt", 2400}};
+  e.cost = cost;
+  e.budget = 48;
+  return e;
+}
+
+const TuningKey kKey{"hostA", "offload_dgemm", "m131072_n131072_k2048"};
+
+TEST(TuningDB, PutFindAndConflictRule) {
+  TuningDB db;
+  EXPECT_TRUE(db.put(kKey, make_entry(1.0)));
+  ASSERT_NE(db.find(kKey), nullptr);
+  EXPECT_EQ(db.find(kKey)->cost, 1.0);
+
+  // Strictly lower cost replaces …
+  EXPECT_TRUE(db.put(kKey, make_entry(0.5)));
+  EXPECT_EQ(db.find(kKey)->cost, 0.5);
+  // … equal or higher does not (ties keep the incumbent).
+  EXPECT_FALSE(db.put(kKey, make_entry(0.5)));
+  EXPECT_FALSE(db.put(kKey, make_entry(0.9)));
+  EXPECT_EQ(db.find(kKey)->cost, 0.5);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(TuningDB, StringRoundTripPreservesEverything) {
+  TuningDB db;
+  db.put(kKey, make_entry(0.125));
+  TuningEntry lu;
+  lu.knobs = {{"superstage_max_group", 16}, {"superstage_period", 4}};
+  lu.cost = 3.5;
+  lu.budget = 16;
+  db.put({"hostA", "native_lu", "m32768_n32768_k256"}, lu);
+
+  TuningDB loaded;
+  ASSERT_TRUE(loaded.load_from_string(db.save_to_string()));
+  ASSERT_EQ(loaded.size(), 2u);
+  const TuningEntry* e = loaded.find(kKey);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->knobs, make_entry(0.125).knobs);
+  EXPECT_EQ(e->cost, 0.125);
+  EXPECT_EQ(e->budget, 48);
+  const TuningEntry* l =
+      loaded.find({"hostA", "native_lu", "m32768_n32768_k256"});
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->knobs, lu.knobs);
+  // Canonical save order: serializing the reload reproduces the bytes.
+  EXPECT_EQ(loaded.save_to_string(), db.save_to_string());
+}
+
+TEST(TuningDB, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tunedb_roundtrip.json";
+  TuningDB db;
+  db.put(kKey, make_entry(0.25));
+  ASSERT_TRUE(db.save(path));
+  TuningDB loaded;
+  ASSERT_TRUE(loaded.load(path));
+  ASSERT_NE(loaded.find(kKey), nullptr);
+  EXPECT_EQ(loaded.find(kKey)->cost, 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDB, MissingFileIsARejectionNotACrash) {
+  TuningDB db;
+  EXPECT_FALSE(db.load("/nonexistent/dir/tunedb.json"));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(TuningDB, LoadMergesWithConflictRule) {
+  TuningDB a;
+  a.put(kKey, make_entry(1.0));
+  TuningDB b;
+  b.put(kKey, make_entry(0.5));  // better
+  TuningEntry other = make_entry(2.0);
+  b.put({"hostB", "offload_dgemm", "m4096_n4096_k1024"}, other);
+
+  ASSERT_TRUE(a.load_from_string(b.save_to_string()));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.find(kKey)->cost, 0.5);
+
+  // Loading the worse file back changes nothing.
+  TuningDB worse;
+  worse.put(kKey, make_entry(9.0));
+  ASSERT_TRUE(a.load_from_string(worse.save_to_string()));
+  EXPECT_EQ(a.find(kKey)->cost, 0.5);
+}
+
+TEST(TuningDB, MergeInMemory) {
+  TuningDB a, b;
+  a.put(kKey, make_entry(1.0));
+  b.put(kKey, make_entry(0.75));
+  a.merge(b);
+  EXPECT_EQ(a.find(kKey)->cost, 0.75);
+}
+
+TEST(TuningDB, RejectsCorruptInput) {
+  const char* bad[] = {
+      "",
+      "not json at all",
+      "{",                                    // truncated
+      "[1, 2, 3]",                            // wrong top-level type
+      "{\"schema\": \"xphi-tunedb\"}",        // missing version/entries
+      "{\"schema\": \"xphi-tunedb\", \"version\": 1, \"entries\": 7}",
+      // entry missing required fields:
+      "{\"schema\": \"xphi-tunedb\", \"version\": 1, \"entries\": "
+      "[{\"machine\": \"x\"}]}",
+      // non-integer knob value:
+      "{\"schema\": \"xphi-tunedb\", \"version\": 1, \"entries\": "
+      "[{\"machine\": \"x\", \"op\": \"o\", \"bucket\": \"b\", \"cost\": 1, "
+      "\"budget\": 1, \"knobs\": {\"mt\": \"big\"}}]}",
+      // trailing garbage after the document:
+      "{\"schema\": \"xphi-tunedb\", \"version\": 1, \"entries\": []} extra",
+  };
+  for (const char* text : bad) {
+    TuningDB db;
+    db.put(kKey, make_entry(0.5));
+    EXPECT_FALSE(db.load_from_string(text)) << text;
+    // Rejection is all-or-nothing: the DB is untouched.
+    EXPECT_EQ(db.size(), 1u) << text;
+    EXPECT_EQ(db.find(kKey)->cost, 0.5) << text;
+  }
+}
+
+TEST(TuningDB, RejectsWrongSchemaOrVersion) {
+  const std::string other_schema =
+      "{\"schema\": \"someone-elses-db\", \"version\": 1, \"entries\": []}";
+  const std::string future_version =
+      "{\"schema\": \"xphi-tunedb\", \"version\": 2, \"entries\": []}";
+  TuningDB db;
+  EXPECT_FALSE(db.load_from_string(other_schema));
+  EXPECT_FALSE(db.load_from_string(future_version));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(TuningDB, UnknownKnobNamesSurviveARoundTrip) {
+  // Forward compatibility: a file written by a build with more knobs loads
+  // fine; the unknown names ride along as opaque pairs.
+  const std::string text =
+      "{\"schema\": \"xphi-tunedb\", \"version\": 1, \"entries\": "
+      "[{\"machine\": \"m\", \"op\": \"o\", \"bucket\": \"b\", \"cost\": 1.5, "
+      "\"budget\": 8, \"knobs\": {\"mt\": 64, \"warp_width\": 32}}]}";
+  TuningDB db;
+  ASSERT_TRUE(db.load_from_string(text));
+  const TuningEntry* e = db.find({"m", "o", "b"});
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->knobs.size(), 2u);
+  TuningDB again;
+  ASSERT_TRUE(again.load_from_string(db.save_to_string()));
+  EXPECT_EQ(again.find({"m", "o", "b"})->knobs, e->knobs);
+}
+
+}  // namespace
+}  // namespace xphi::tune
