@@ -52,23 +52,30 @@ int main() {
       "below 8K, converging to ~832 GFLOPS (79%%) at 30K.\n");
 
   // Measured functional DAG LU on this host (the real numerics behind the
-  // projection): wall-clock and the trailing update's pack-cache reuse.
+  // projection): wall-clock, the trailing update's pack-cache reuse, and the
+  // fraction of factor time spent in the panel tasks — the critical path the
+  // look-ahead pipelines around (DESIGN.md §11 tracks this dropping).
   std::printf("\nFunctional DAG LU (measured, 4 workers):\n\n");
-  util::Table mtable(
-      {"N", "factor s", "GF/s", "residual ok", "pack hits", "pack misses"});
+  util::Table mtable({"N", "factor s", "GF/s", "residual ok", "panel %",
+                      "pack hits", "pack misses"});
   std::vector<bench::JsonRecord> records;
   for (std::size_t n : {480u, 720u, 960u}) {
     const auto res = lu::run_functional_dag_lu(n, /*nb=*/120, /*workers=*/4);
     const double gf =
         2.0 / 3.0 * n * n * n / res.factor_seconds * 1e-9;
+    const double panel_fraction =
+        res.factor_seconds > 0 ? res.panel_seconds / res.factor_seconds : 0;
     mtable.add_row({util::Table::fmt(n), util::Table::fmt(res.factor_seconds, 4),
                     util::Table::fmt(gf, 2), util::Table::fmt(res.ok ? 1 : 0),
+                    util::Table::fmt(panel_fraction * 100, 1),
                     util::Table::fmt(res.pack.pack_hits),
                     util::Table::fmt(res.pack.pack_misses)});
     records.push_back(bench::JsonRecord{}
                           .num("n", static_cast<double>(n))
                           .num("factor_seconds", res.factor_seconds)
                           .num("gflops", gf)
+                          .num("panel_seconds", res.panel_seconds)
+                          .num("panel_fraction", panel_fraction)
                           .num("pack_hits",
                                static_cast<double>(res.pack.pack_hits))
                           .num("pack_misses",

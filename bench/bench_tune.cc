@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "blas/lu_kernels.h"
 #include "core/hybrid_hpl.h"
 #include "core/offload_dgemm.h"
 #include "core/offload_functional.h"
@@ -292,6 +293,47 @@ int main(int argc, char** argv) {
           const auto t0 = std::chrono::steady_clock::now();
           core::offload_gemm_functional(-1.0, a.view(), b.view(), c.view(),
                                         cfg);
+          const std::chrono::duration<double> dt =
+              std::chrono::steady_clock::now() - t0;
+          return dt.count() > 1e-9 ? dt.count() : 1e-9;
+        },
+        so);
+    row.knobs = knob_string(space, row.result.best);
+    rows.push_back(std::move(row));
+  }
+
+  // --- LU panel critical path: the second *measured* op. -----------------
+  // Wall-clock getrf_panel (recursive factorization + fused LASWP + blocked
+  // TRSM) on a tall paper-shaped panel, searching the recursion cutoff and
+  // the LASWP column chunk. Seeded at the kernel defaults so "default" is
+  // exactly what a driver gets with no tuning.
+  {
+    const std::size_t m = opt.smoke ? 256 : 2048;
+    const std::size_t jb = opt.smoke ? 32 : 64;
+    util::Matrix<double> a0(m, jb);
+    util::fill_hpl_matrix(a0.view(), 4);
+    util::ThreadPool pool(3);
+    const tune::SearchSpace space = tune::spaces::panel();
+    const tune::ShapeBucket shape = tune::bucket(m, jb, jb);
+    OpRow row{.op = "panel", .shape_n = m, .bucket = shape.key(),
+              .flops = static_cast<double>(jb) * jb *
+                       (static_cast<double>(m) - jb / 3.0)};
+    tune::SearchOptions so = search;
+    so.start = {space.nearest_index(0, 8), space.nearest_index(1, 256)};
+    if (opt.smoke && so.budget > 3) so.budget = 3;
+    row.result = tuner.tune(
+        row.op, shape, space,
+        [&](const std::vector<long long>& v) {
+          blas::PanelOptions popt;
+          popt.nb_min = static_cast<std::size_t>(v[0]);
+          popt.laswp_col_chunk = static_cast<std::size_t>(v[1]);
+          popt.pool = &pool;
+          util::Matrix<double> a(m, jb);
+          for (std::size_t r = 0; r < m; ++r)
+            for (std::size_t c = 0; c < jb; ++c) a(r, c) = a0(r, c);
+          std::vector<std::size_t> piv(jb);
+          const auto t0 = std::chrono::steady_clock::now();
+          blas::getrf_panel<double>(a.view(), piv, popt);
           const std::chrono::duration<double> dt =
               std::chrono::steady_clock::now() - t0;
           return dt.count() > 1e-9 ? dt.count() : 1e-9;

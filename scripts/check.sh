@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-stop verification gate: builds everything, runs the tier-1 ctest
 # suite, re-runs the labelled subsets that exercise the messaging layer
-# (-L net), the fault-injection chaos harness (-L fault) and the autotuning
-# subsystem (-L tune), then repeats the concurrency-bearing suites under
+# (-L net), the fault-injection chaos harness (-L fault), the autotuning
+# subsystem (-L tune) and the panel critical-path kernels (-L panel), then
+# repeats the concurrency-bearing suites under
 # ThreadSanitizer. Exits non-zero on the first failure; CI-runnable.
 set -euo pipefail
 
@@ -24,6 +25,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L fault
 
 echo "== ctest -L tune =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L tune
+
+echo "== ctest -L panel =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L panel
 
 echo "== ThreadSanitizer =="
 "$(dirname "$0")/run_tsan.sh"

@@ -2,7 +2,8 @@
 # Builds the concurrency-bearing tests under ThreadSanitizer and runs them.
 #
 # Covers the dynamic parallel_for scheduler (thread pool), parallel packing
-# and the pack cache, the pooled tiled GEMM, the DAG LU executor, the
+# and the pack cache, the pooled tiled GEMM, the panel critical-path kernels
+# (pool-parallel iamax, fused LASWP, blocked TRSM), the DAG LU executor, the
 # net::World messaging layer (nonblocking requests + collectives), the
 # distributed HPL look-ahead schedules built on it, and the fault-injection
 # chaos harness (retry/NACK/absorption races in the offload reliability
@@ -17,11 +18,12 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_lu test_core test_net test_hpl test_fault test_tune
+  --target test_util test_blas test_panel test_lu test_core test_net test_hpl test_fault test_tune
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
 "$BUILD_DIR/tests/test_blas" --gtest_filter='Pack*:PackCache*:Gemm*'
+"$BUILD_DIR/tests/test_panel"  # pool-parallel iamax, fused LASWP, blocked TRSM
 "$BUILD_DIR/tests/test_lu" --gtest_filter='FunctionalDagLu*:DagLuFactor*'
 "$BUILD_DIR/tests/test_core" --gtest_filter='OffloadFunctional*'
 "$BUILD_DIR/tests/test_net"  # whole messaging layer, incl. collectives

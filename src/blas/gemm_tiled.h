@@ -27,9 +27,14 @@
 
 namespace xphi::blas {
 
-/// Rows per register sub-block of the full-tile fast path. 30 = 6 x 5: a
-/// 5x8 double accumulator block stays register-resident on any x86-64 host.
-inline constexpr std::size_t kMicroRows = 5;
+/// Rows per register sub-block of the full-tile fast path. 3 divides the
+/// 30-row tile and keeps the accumulator block at 3x8 = 24 doubles — 12 XMM
+/// registers on a baseline SSE2 build (16 available), leaving room for the
+/// b-row loads and the a broadcast. A 5x8 block needs 20 and spills every
+/// accumulator to the stack each k-iteration. The choice only groups rows;
+/// each C element accumulates over k in the same order, so any kRb produces
+/// bitwise-identical results.
+inline constexpr std::size_t kMicroRows = 3;
 
 /// Full-tile fast path: C is exactly kTr x kTc, no masking anywhere.
 template <class T, std::size_t kTr, std::size_t kTc, std::size_t kRb>

@@ -2,6 +2,12 @@
 // oracle the scheduled (DAG / static look-ahead / hybrid) drivers are tested
 // against. Mirrors Figure 5a: factor panel [DL]i, swap rows, forward-solve
 // the U row panel, GEMM-update the trailing matrix, advance.
+//
+// The panel / swap / TRSM chain runs the blocked critical-path kernels from
+// lu_kernels.h: the recursive panel factorization, one SwapPlan per stage
+// applied to the left and right regions in fused cache-blocked passes, and
+// the blocked TRSM. All of it shares the caller's pool with the trailing
+// GEMM.
 #pragma once
 
 #include <span>
@@ -14,31 +20,37 @@ namespace xphi::blas {
 
 /// In-place blocked LU of the square matrix `a` with panel width nb.
 /// ipiv[i] records the absolute row swapped with row i.
-/// Returns false on an exactly zero pivot.
+/// Returns false on an exactly zero pivot. `panel` carries the recursion
+/// cutoff and LASWP chunk knobs; its pool field is overridden by `pool`.
 template <class T>
 bool getrf_blocked(util::MatrixView<T> a, std::span<std::size_t> ipiv,
-                   std::size_t nb = 64, util::ThreadPool* pool = nullptr) {
+                   std::size_t nb = 64, util::ThreadPool* pool = nullptr,
+                   PanelOptions panel = {}) {
   const std::size_t n = a.rows();
   assert(a.cols() == n && ipiv.size() >= n);
+  panel.pool = pool;
   for (std::size_t i = 0; i < n; i += nb) {
     const std::size_t jb = std::min(nb, n - i);
     // Panel factorization of the (n-i) x jb panel.
-    auto panel = a.block(i, i, n - i, jb);
-    if (!getrf_panel<T>(panel, ipiv.subspan(i, jb))) return false;
+    auto panel_view = a.block(i, i, n - i, jb);
+    if (!getrf_panel<T>(panel_view, ipiv.subspan(i, jb), panel)) return false;
     // Make pivots absolute.
     for (std::size_t j = 0; j < jb; ++j) ipiv[i + j] += i;
-    // Apply the interchanges to the columns left and right of the panel.
+    // One swap plan per panel, applied to the columns left and right of the
+    // panel in fused cache-blocked passes.
+    const SwapPlan plan = make_swap_plan(
+        std::span<const std::size_t>(ipiv.data(), n), i, i + jb);
     if (i > 0) {
       auto left = a.block(0, 0, n, i);
-      laswp<T>(left, std::span<const std::size_t>(ipiv.data(), n), i, i + jb);
+      laswp_fused<T>(left, plan, pool, panel.laswp_col_chunk);
     }
     if (i + jb < n) {
       auto right = a.block(0, i + jb, n, n - i - jb);
-      laswp<T>(right, std::span<const std::size_t>(ipiv.data(), n), i, i + jb);
+      laswp_fused<T>(right, plan, pool, panel.laswp_col_chunk);
       // U row panel: solve L11 * U12 = A12.
       auto l11 = a.block(i, i, jb, jb);
       auto u12 = a.block(i, i + jb, jb, n - i - jb);
-      trsm_left_lower_unit<T>(l11, u12);
+      trsm_left_lower_unit<T>(l11, u12, pool);
       // Trailing update: A22 -= L21 * U12.
       auto l21 = a.block(i + jb, i, n - i - jb, jb);
       auto a22 = a.block(i + jb, i + jb, n - i - jb, n - i - jb);

@@ -27,13 +27,17 @@ HybridFunctionalResult run_functional_hybrid_hpl(
     for (std::size_t c = 0; c < n; ++c) orig(r, c) = a(r, c);
   std::vector<std::size_t> ipiv(n);
 
+  blas::PanelOptions popt;
+  if (cfg.panel_nb_min != 0) popt.nb_min = cfg.panel_nb_min;
+  popt.laswp_col_chunk = cfg.laswp_col_chunk;
+
   // Factor panel `p` in place and make its pivots absolute. Returns false on
   // a zero pivot.
   auto factor_panel = [&](std::size_t i0) {
     const std::size_t pw = std::min(nb, n - i0);
     auto panel = a.block(i0, i0, n - i0, pw);
     auto piv = std::span<std::size_t>(ipiv).subspan(i0, pw);
-    if (!blas::getrf_panel<double>(panel, piv)) return false;
+    if (!blas::getrf_panel<double>(panel, piv, popt)) return false;
     for (std::size_t t = 0; t < pw; ++t) piv[t] += i0;
     return true;
   };
@@ -42,10 +46,18 @@ HybridFunctionalResult run_functional_hybrid_hpl(
   auto update_columns = [&](std::size_t i0, std::size_t pw, std::size_t c0,
                             std::size_t ncols) {
     if (ncols == 0) return;
-    // Pivot + forward solve for this column range.
+    // Pivot + forward solve for this column range: one fused cache-blocked
+    // pass over the stage's interchanges (rows shifted to block-local).
     auto block = a.block(i0, c0, n - i0, ncols);
-    for (std::size_t t = 0; t < pw; ++t)
-      blas::swap_rows(block, t, ipiv[i0 + t] - i0);
+    blas::SwapPlan plan;
+    plan.pairs.reserve(pw);
+    for (std::size_t t = 0; t < pw; ++t) {
+      const std::size_t src = ipiv[i0 + t] - i0;
+      if (src != t) plan.pairs.push_back({t, src});
+    }
+    plan.finalize();
+    blas::laswp_fused<double>(block, plan, /*pool=*/nullptr,
+                              cfg.laswp_col_chunk);
     auto l11 = a.block(i0, i0, pw, pw);
     auto u = a.block(i0, c0, pw, ncols);
     blas::trsm_left_lower_unit<double>(
@@ -64,11 +76,14 @@ HybridFunctionalResult run_functional_hybrid_hpl(
   if (!factor_panel(0)) return res;
   for (std::size_t i0 = 0; i0 < n; i0 += nb) {
     const std::size_t pw = std::min(nb, n - i0);
-    // Apply this stage's interchanges to the columns LEFT of the panel.
+    // Apply this stage's interchanges to the columns LEFT of the panel in a
+    // single fused pass.
     if (i0 > 0) {
       auto left = a.block(0, 0, n, i0);
-      blas::laswp<double>(left, std::span<const std::size_t>(ipiv.data(), n),
-                          i0, i0 + pw);
+      blas::laswp_fused<double>(left,
+                                std::span<const std::size_t>(ipiv.data(), n),
+                                i0, i0 + pw, /*pool=*/nullptr,
+                                cfg.laswp_col_chunk);
     }
     const std::size_t trail0 = i0 + pw;
     if (trail0 >= n) break;

@@ -27,6 +27,9 @@ struct HybridFunctionalConfig {
   FunctionalOffloadConfig offload{};
   FunctionalScheme scheme = FunctionalScheme::kBasic;
   int pipeline_subsets = 4;  // column subsets for kPipelined
+  // Critical-path kernel knobs (blas::PanelOptions); 0 = kernel defaults.
+  std::size_t panel_nb_min = 0;     // recursive-panel cutoff
+  std::size_t laswp_col_chunk = 0;  // fused-LASWP column chunk
 };
 
 struct HybridFunctionalResult {

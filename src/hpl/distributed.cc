@@ -142,7 +142,12 @@ Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
   const double t_factor = ctx.now();
   MatrixView<double> panel(assembled.data(), n - k0, pw, pw);
   std::vector<std::size_t> piv(pw);
-  const bool ok = blas::getrf_panel<double>(panel, piv);
+  blas::PanelOptions popt;
+  if (ctx.options != nullptr) {
+    if (ctx.options->panel_nb_min != 0) popt.nb_min = ctx.options->panel_nb_min;
+    popt.laswp_col_chunk = ctx.options->laswp_col_chunk;
+  }
+  const bool ok = blas::getrf_panel<double>(panel, piv, popt);
   assert(ok && "singular panel in distributed HPL");
   (void)ok;
   ctx.record(SpanKind::kPanelFactor, t_factor);
@@ -281,16 +286,31 @@ void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
     for (const auto& [lo, hi] : iv)
       for (std::size_t c = lo; c < hi; ++c) ctx.local(lr, c) = in[pos++];
   };
-  auto swap_local_rows = [&](std::size_t lr1, std::size_t lr2) {
-    for (const auto& [lo, hi] : iv)
-      for (std::size_t c = lo; c < hi; ++c)
-        std::swap(ctx.local(lr1, c), ctx.local(lr2, c));
-  };
-
   const SwapAlgorithm swap_alg = ctx.options != nullptr
                                      ? ctx.options->swap_algorithm
                                      : SwapAlgorithm::kPairwise;
   if (swap_alg == SwapAlgorithm::kPairwise) {
+    // Rank-local swaps are batched into a SwapPlan and applied in one fused
+    // cache-blocked pass per flush (blas::laswp_fused over each local column
+    // interval). Buffered swaps commute with remote exchanges this rank does
+    // not participate in; a remote exchange this rank *does* join may read or
+    // write a buffered row, so the plan flushes right before it.
+    std::size_t col_chunk = ctx.options != nullptr &&
+                                    ctx.options->laswp_col_chunk != 0
+                                ? ctx.options->laswp_col_chunk
+                                : blas::kLaswpColChunk;
+    blas::SwapPlan local_plan;
+    auto flush_local = [&] {
+      if (local_plan.empty()) return;
+      local_plan.finalize();  // compose once, apply to every interval
+      for (const auto& [lo, hi] : iv) {
+        auto region =
+            ctx.local.view().block(0, lo, ctx.local.rows(), hi - lo);
+        blas::laswp_fused<double>(region, local_plan, /*pool=*/nullptr,
+                                  col_chunk);
+      }
+      local_plan = blas::SwapPlan{};
+    };
     for (std::size_t t = 0; t < pw; ++t) {
       const std::size_t r1 = k0 + t;
       const std::size_t r2 = static_cast<std::size_t>(ipiv_stage[t]);
@@ -299,8 +319,10 @@ void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
       const int o2 = dist.owner_prow(r2);
       if (o1 == o2) {
         if (ctx.prow == o1)
-          swap_local_rows(dist.local_row(r1), dist.local_row(r2));
+          local_plan.pairs.emplace_back(dist.local_row(r1),
+                                        dist.local_row(r2));
       } else if (ctx.prow == o1 || ctx.prow == o2) {
+        flush_local();
         const std::size_t mine = ctx.prow == o1 ? r1 : r2;
         const int partner_prow = ctx.prow == o1 ? o2 : o1;
         const int partner = grid.rank_of(partner_prow, ctx.pcol);
@@ -312,6 +334,7 @@ void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
         write_row_segment(dist.local_row(mine), in.data());
       }
     }
+    flush_local();
   } else {
     // "Long" swap: gather every involved row segment at the stage's root
     // process row, apply the whole interchange sequence there, scatter back.

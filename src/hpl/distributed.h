@@ -73,6 +73,11 @@ struct DistributedHplOptions {
   /// over (clamped to [1, 16]; subset 0 is always the next panel's columns).
   int pipeline_subsets = 4;
 
+  /// Critical-path kernel knobs (blas::PanelOptions) for the root-rank panel
+  /// factorization and the fused local row-swap passes; 0 = kernel defaults.
+  std::size_t panel_nb_min = 0;
+  std::size_t laswp_col_chunk = 0;
+
   /// Optional capture of per-rank compute and communication spans
   /// (lane = rank; kBroadcast covers panel/U transfers and their waits,
   /// kRowSwap the pivot exchanges). Filled after the run completes.

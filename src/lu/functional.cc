@@ -23,11 +23,13 @@ struct Shared {
   std::span<std::size_t> ipiv;
   std::size_t nb;
   PanelDag* dag;
+  DagLuTuning tuning;
   // Every update task of stage i multiplies against the same L21 panel; the
   // cache (keyed by stage) packs it once per stage instead of once per task.
   // A handful of entries suffices: look-ahead keeps only a few stages live.
   blas::PackCache<double> packs{8};
   std::atomic<bool> failed{false};
+  std::atomic<double> panel_seconds{0};
 };
 
 void execute_task(const Task& task, Shared& sh) {
@@ -38,7 +40,16 @@ void execute_task(const Task& task, Shared& sh) {
     const std::size_t pw = std::min(nb, n - r0);
     auto panel = sh.a.block(r0, r0, n - r0, pw);
     auto piv = sh.ipiv.subspan(r0, pw);
-    if (!blas::getrf_panel<double>(panel, piv)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    blas::PanelOptions popt;
+    if (sh.tuning.panel_nb_min != 0) popt.nb_min = sh.tuning.panel_nb_min;
+    popt.laswp_col_chunk = sh.tuning.laswp_col_chunk;
+    const bool ok = blas::getrf_panel<double>(panel, piv, popt);
+    sh.panel_seconds.fetch_add(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
+    if (!ok) {
       sh.failed.store(true, std::memory_order_relaxed);
       return;
     }
@@ -48,11 +59,19 @@ void execute_task(const Task& task, Shared& sh) {
     const std::size_t iw = std::min(nb, n - r0);
     const std::size_t c0 = task.panel * nb;
     const std::size_t jw = std::min(nb, n - c0);
-    // Pivot: apply stage-i interchanges to panel j. Rows are absolute; the
-    // block starts at row r0, so shift to block-local indices.
+    // Pivot: apply stage-i interchanges to panel j in one fused cache-blocked
+    // pass. Rows are absolute; the block starts at row r0, so shift to
+    // block-local indices.
     auto block = sh.a.block(r0, c0, n - r0, jw);
-    for (std::size_t t = 0; t < iw; ++t)
-      blas::swap_rows(block, t, sh.ipiv[r0 + t] - r0);
+    blas::SwapPlan plan;
+    plan.pairs.reserve(iw);
+    for (std::size_t t = 0; t < iw; ++t) {
+      const std::size_t src = sh.ipiv[r0 + t] - r0;
+      if (src != t) plan.pairs.push_back({t, src});
+    }
+    plan.finalize();
+    blas::laswp_fused<double>(block, plan, /*pool=*/nullptr,
+                              sh.tuning.laswp_col_chunk);
     // Forward solve: U12 = L11^-1 * A12.
     auto l11 = sh.a.block(r0, r0, iw, iw);
     auto u = sh.a.block(r0, c0, iw, jw);
@@ -87,11 +106,12 @@ void worker_loop(Shared& sh) {
 }  // namespace
 
 bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
-                   std::size_t nb, int workers, DagLuPackStats* pack_stats) {
+                   std::size_t nb, int workers, DagLuPackStats* pack_stats,
+                   DagLuTuning tuning, double* panel_seconds) {
   const std::size_t n = a.rows();
   const std::size_t num_panels = (n + nb - 1) / nb;
   PanelDag dag(num_panels);
-  Shared sh{a, ipiv, nb, &dag};
+  Shared sh{a, ipiv, nb, &dag, tuning};
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(std::max(1, workers)) - 1);
@@ -101,23 +121,26 @@ bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
   for (auto& th : threads) th.join();
   if (pack_stats != nullptr)
     *pack_stats = {sh.packs.hits(), sh.packs.misses()};
+  if (panel_seconds != nullptr) *panel_seconds = sh.panel_seconds.load();
   if (sh.failed.load()) return false;
 
   // Post-pass: apply each stage's interchanges to the L panels on its left,
   // in stage order — the part of DLASWP the DAG tasks (which only touch
-  // panels right of the diagonal) defer.
+  // panels right of the diagonal) defer. One fused pass per stage.
   for (std::size_t p = 1; p < num_panels; ++p) {
     const std::size_t r0 = p * nb;
     const std::size_t pw = std::min(nb, n - r0);
     auto left = a.block(0, 0, n, r0);
-    blas::laswp<double>(left, std::span<const std::size_t>(ipiv.data(), n), r0,
-                        r0 + pw);
+    blas::laswp_fused<double>(
+        left, std::span<const std::size_t>(ipiv.data(), n), r0, r0 + pw,
+        /*pool=*/nullptr, tuning.laswp_col_chunk);
   }
   return true;
 }
 
 FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
-                                         int workers, std::uint64_t seed) {
+                                         int workers, std::uint64_t seed,
+                                         DagLuTuning tuning) {
   util::Matrix<double> a(n, n), orig(n, n);
   util::fill_hpl_matrix(a.view(), seed);
   for (std::size_t r = 0; r < n; ++r)
@@ -130,7 +153,8 @@ FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
 
   FunctionalLuResult res;
   const auto t0 = std::chrono::steady_clock::now();
-  const bool factored = dag_lu_factor(a.view(), ipiv, nb, workers, &res.pack);
+  const bool factored = dag_lu_factor(a.view(), ipiv, nb, workers, &res.pack,
+                                      tuning, &res.panel_seconds);
   res.factor_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

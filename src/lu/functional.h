@@ -22,24 +22,36 @@ struct DagLuPackStats {
   std::size_t pack_misses = 0;
 };
 
+/// Critical-path kernel knobs threaded into every Task1 panel factorization
+/// and every fused row-swap pass (see blas::PanelOptions). Zero means the
+/// kernel default.
+struct DagLuTuning {
+  std::size_t panel_nb_min = 0;     // recursion cutoff of getrf_panel
+  std::size_t laswp_col_chunk = 0;  // column chunk of the fused LASWP
+};
+
 /// Factors `a` in place with the dynamic DAG scheduler on `workers` real
 /// threads. ipiv receives absolute row interchanges (LAPACK style). Returns
 /// false on a zero pivot. `pack_stats`, when given, receives the trailing
-/// update's PackCache hit/miss counts.
+/// update's PackCache hit/miss counts; `panel_seconds` the summed wall-clock
+/// of the panel-factor tasks (the critical path the DAG pipelines around).
 bool dag_lu_factor(util::MatrixView<double> a, std::span<std::size_t> ipiv,
                    std::size_t nb, int workers,
-                   DagLuPackStats* pack_stats = nullptr);
+                   DagLuPackStats* pack_stats = nullptr,
+                   DagLuTuning tuning = {}, double* panel_seconds = nullptr);
 
 struct FunctionalLuResult {
   bool ok = false;
   double residual = 0;  // scaled HPL residual of the solve
   double factor_seconds = 0;  // wall-clock of the DAG factorization
+  double panel_seconds = 0;  // summed wall-clock of the panel-factor tasks
   DagLuPackStats pack;  // operand-pack reuse across update tasks
 };
 
 /// End-to-end: generate the HPL matrix of size n, factor with the DAG
 /// executor, solve, and return the residual.
 FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
-                                         int workers, std::uint64_t seed = 42);
+                                         int workers, std::uint64_t seed = 42,
+                                         DagLuTuning tuning = {});
 
 }  // namespace xphi::lu

@@ -15,8 +15,17 @@ NativeLinpackReport run_native_linpack(std::size_t n_functional,
   // deterministically; numerics are scheduler-independent).
   const std::size_t fnb =
       options.functional_nb != 0 ? options.functional_nb : options.nb;
-  report.functional =
-      run_functional_dag_lu(n_functional, fnb, options.workers, options.seed);
+  DagLuTuning panel = options.panel;
+  if (options.tuner != nullptr) {
+    if (const auto tuned = options.tuner->best(
+            "panel", tune::bucket(n_functional, fnb, fnb))) {
+      if (tuned->panel_nb_min > 0) panel.panel_nb_min = tuned->panel_nb_min;
+      if (tuned->laswp_col_chunk > 0)
+        panel.laswp_col_chunk = tuned->laswp_col_chunk;
+    }
+  }
+  report.functional = run_functional_dag_lu(n_functional, fnb, options.workers,
+                                            options.seed, panel);
   if (report.functional.factor_seconds > 0) {
     const double nd = static_cast<double>(n_functional);
     report.functional_factor_gflops =

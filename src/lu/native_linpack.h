@@ -28,10 +28,14 @@ struct NativeLinpackOptions {
   std::uint64_t seed = 42;
   // Projection:
   bool capture_timeline = false;
+  /// Critical-path kernel knobs for the functional run (panel recursion
+  /// cutoff, fused-LASWP column chunk); zeros = kernel defaults. A tuner
+  /// with a stored "panel" entry overrides these.
+  DagLuTuning panel;
   /// Optional tuning database (tune/tuner.h): a stored "native_lu" entry for
   /// this projection's bucket supplies the super-stage plan's group-core cap
-  /// and regroup period (tune::Knobs::superstage_*). Only the kDynamic
-  /// scheduler consults it; null = the paper's defaults.
+  /// and regroup period (tune::Knobs::superstage_*); a stored "panel" entry
+  /// supplies the functional run's panel/LASWP knobs. Null = defaults.
   const tune::Tuner* tuner = nullptr;
 };
 

@@ -43,6 +43,10 @@ struct Knobs {
   // 2 pipelined) and the pipelined scheme's column-subset count.
   int lookahead = -1;       // -1 = caller default
   int pipeline_subsets = 0;  // 0 = caller default
+  // LU critical-path kernels (blas::PanelOptions): recursion cutoff of the
+  // recursive panel factorization and the fused-LASWP column chunk.
+  std::size_t panel_nb_min = 0;     // 0 = kernel default (8)
+  std::size_t laswp_col_chunk = 0;  // 0 = kernel default (kLaswpColChunk)
 };
 
 /// Name/value pairs, one per *set* field — the encoded form a TuningDB entry
@@ -65,6 +69,11 @@ inline std::vector<std::pair<std::string, long long>> values_from_knobs(
   if (k.lookahead >= 0) v.emplace_back("lookahead", k.lookahead);
   if (k.pipeline_subsets != 0)
     v.emplace_back("pipeline_subsets", k.pipeline_subsets);
+  if (k.panel_nb_min != 0)
+    v.emplace_back("panel_nb_min", static_cast<long long>(k.panel_nb_min));
+  if (k.laswp_col_chunk != 0)
+    v.emplace_back("laswp_col_chunk",
+                   static_cast<long long>(k.laswp_col_chunk));
   return v;
 }
 
@@ -94,6 +103,10 @@ inline Knobs knobs_from_values(
       k.superstage_period = static_cast<std::size_t>(v);
     } else if (name == "pipeline_subsets") {
       k.pipeline_subsets = static_cast<int>(v);
+    } else if (name == "panel_nb_min") {
+      k.panel_nb_min = static_cast<std::size_t>(v);
+    } else if (name == "laswp_col_chunk") {
+      k.laswp_col_chunk = static_cast<std::size_t>(v);
     }
     // Unknown knob names: skip.
   }

@@ -109,6 +109,13 @@ SearchSpace lookahead() {
   return s;
 }
 
+SearchSpace panel() {
+  SearchSpace s;
+  s.add("panel_nb_min", {4, 8, 16, 32, 64}, 8);
+  s.add("laswp_col_chunk", {64, 128, 256, 512, 1024}, 256);
+  return s;
+}
+
 }  // namespace spaces
 
 }  // namespace xphi::tune

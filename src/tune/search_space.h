@@ -72,6 +72,10 @@ SearchSpace superstage(int total_cores);
 /// Hybrid HPL look-ahead scheme and pipelined column-subset count.
 SearchSpace lookahead();
 
+/// LU panel critical path: recursive-panel cutoff nb_min and the fused
+/// LASWP column chunk (blas::PanelOptions).
+SearchSpace panel();
+
 }  // namespace spaces
 
 }  // namespace xphi::tune

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "blas/gemm_ref.h"
+#include "blas/lu_kernels.h"
 #include "core/offload_dgemm.h"
 #include "core/offload_functional.h"
 #include "lu/native_linpack.h"
@@ -152,6 +153,8 @@ TEST(Knobs, EncodeDecodeRoundTrip) {
   k.superstage_period = 4;
   k.lookahead = 2;
   k.pipeline_subsets = 8;
+  k.panel_nb_min = 16;
+  k.laswp_col_chunk = 512;
   const Knobs back = knobs_from_values(values_from_knobs(k));
   EXPECT_EQ(back.mt, k.mt);
   EXPECT_EQ(back.nt, k.nt);
@@ -161,6 +164,8 @@ TEST(Knobs, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.superstage_period, k.superstage_period);
   EXPECT_EQ(back.lookahead, k.lookahead);
   EXPECT_EQ(back.pipeline_subsets, k.pipeline_subsets);
+  EXPECT_EQ(back.panel_nb_min, k.panel_nb_min);
+  EXPECT_EQ(back.laswp_col_chunk, k.laswp_col_chunk);
   // lookahead 0 (kNone) is a *set* value, distinct from the -1 default.
   Knobs none;
   none.lookahead = 0;
@@ -177,6 +182,16 @@ TEST(CanonicalSpaces, CoverTheDocumentedKnobs) {
   EXPECT_EQ(spaces::functional_offload().dims(), 3u);
   EXPECT_EQ(spaces::gemm_chunk().dims(), 1u);
   EXPECT_EQ(spaces::lookahead().dims(), 2u);
+  // Panel critical path: cutoff + LASWP chunk, defaulted at the kernel's
+  // built-in constants so an unsearched space reproduces the stock kernels.
+  const SearchSpace ps = spaces::panel();
+  ASSERT_EQ(ps.dims(), 2u);
+  EXPECT_EQ(ps.dim(0).name, "panel_nb_min");
+  EXPECT_EQ(ps.dim(1).name, "laswp_col_chunk");
+  const auto defaults = ps.values_at(ps.default_point());
+  EXPECT_EQ(defaults[0], 8);
+  EXPECT_EQ(defaults[1],
+            static_cast<long long>(xphi::blas::kLaswpColChunk));
   const SearchSpace ss = spaces::superstage(56);
   ASSERT_EQ(ss.dims(), 2u);
   // Group caps: a power-of-two ladder topped by the paper's default cap of
