@@ -2,9 +2,12 @@
 # One-stop verification gate: builds everything, runs the tier-1 ctest
 # suite, re-runs the labelled subsets that exercise the messaging layer
 # (-L net), the fault-injection chaos harness (-L fault), the autotuning
-# subsystem (-L tune) and the panel critical-path kernels (-L panel), then
-# repeats the concurrency-bearing suites under
-# ThreadSanitizer. Exits non-zero on the first failure; CI-runnable.
+# subsystem (-L tune), the panel critical-path kernels (-L panel) and the
+# micro-kernel registry (-L microkernel), then re-runs the microkernel
+# suite under both ISA presets (XPHI_ARCH=native and the sse2 baseline, so
+# every compiled dispatch tier is exercised) and repeats the
+# concurrency-bearing suites under ThreadSanitizer. Exits non-zero on the
+# first failure; CI-runnable.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +31,21 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L tune
 
 echo "== ctest -L panel =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L panel
+
+echo "== ctest -L microkernel =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L microkernel
+
+# The registry's bitwise-determinism contract is cross-preset: the same
+# sources built with -march=native and with the x86-64 baseline must
+# dispatch correctly and agree with gemm_ref bit for bit. Build the
+# microkernel suite under both presets and run it in each.
+for arch in native sse2; do
+  echo "== ctest -L microkernel (XPHI_ARCH=$arch) =="
+  ARCH_DIR="${BUILD_DIR}-${arch}"
+  cmake -B "$ARCH_DIR" -S . -DXPHI_ARCH="$arch" >/dev/null
+  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel
+  ctest --test-dir "$ARCH_DIR" --output-on-failure -L microkernel
+done
 
 echo "== ThreadSanitizer =="
 "$(dirname "$0")/run_tsan.sh"

@@ -18,12 +18,15 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_panel test_lu test_core test_net test_hpl test_fault test_tune
+  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_hpl test_fault test_tune
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
 "$BUILD_DIR/tests/test_blas" --gtest_filter='Pack*:PackCache*:Gemm*'
 "$BUILD_DIR/tests/test_panel"  # pool-parallel iamax, fused LASWP, blocked TRSM
+# Registry dispatch under the pooled GEMM: magic-static table init racing
+# worker threads would show up here.
+"$BUILD_DIR/tests/test_microkernel" --gtest_filter='Microkernel*'
 "$BUILD_DIR/tests/test_lu" --gtest_filter='FunctionalDagLu*:DagLuFactor*'
 "$BUILD_DIR/tests/test_core" --gtest_filter='OffloadFunctional*'
 "$BUILD_DIR/tests/test_net"  # whole messaging layer, incl. collectives

@@ -51,11 +51,15 @@ bool getrf_blocked(util::MatrixView<T> a, std::span<std::size_t> ipiv,
       auto l11 = a.block(i, i, jb, jb);
       auto u12 = a.block(i, i + jb, jb, n - i - jb);
       trsm_left_lower_unit<T>(l11, u12, pool);
-      // Trailing update: A22 -= L21 * U12.
+      // Trailing update: A22 -= L21 * U12, through the same registry
+      // kernel the panel uses (PanelOptions::microkernel, 0 = auto).
       auto l21 = a.block(i + jb, i, n - i - jb, jb);
       auto a22 = a.block(i + jb, i + jb, n - i - jb, n - i - jb);
-      gemm_tiled<T>(T{-1}, l21, u12, T{1}, a22,
-                    /*chunk_k=*/jb, pool);
+      GemmOptions go;
+      go.chunk_k = jb;
+      go.kernel = panel.microkernel;
+      go.pool = pool;
+      gemm_tiled<T>(T{-1}, l21, u12, T{1}, a22, go);
     }
   }
   return true;

@@ -16,8 +16,9 @@
 //     pivot — column-chunked across the pool;
 //   - trsm_left_lower_unit / trsm_left_upper are cache-blocked
 //     substitutions: L2-sized column chunks fan out across the pool and the
-//     k-loop runs rank-4 register-blocked updates, with per-element
-//     operation order identical to the scalar reference.
+//     k-loop runs register-blocked updates whose rank follows the
+//     dispatched micro-kernel's M_r, with per-element operation order
+//     identical to the scalar reference.
 // The *_unblocked scalar kernels are kept both as the leaf/diagonal cases
 // and as the seed reference implementations (bench_panel measures the two
 // generations against each other; the panel tests pin their equivalence).
@@ -60,6 +61,20 @@ template <class T>
 constexpr std::size_t trsm_col_chunk(std::size_t n) {
   const std::size_t budget = (std::size_t{1} << 20) / sizeof(T);
   return std::max<std::size_t>(std::size_t{64}, budget / (n == 0 ? 1 : n));
+}
+
+/// Register-block rank of the blocked TRSM k-loops, inherited from the
+/// dispatched GEMM micro-kernel's M_r (wider register files carry more
+/// solved-row streams per destination-row pass). Each destination element's
+/// subtraction chain stays strictly sequential in k for *any* rank, so the
+/// choice — like the kernel-shape dispatch it follows — is bitwise-neutral.
+template <class T>
+std::size_t trsm_unroll_rank() {
+  const auto sel = mk::select_kernel<T>(0);
+  const std::size_t mr = sel ? sel.mr() : 4;
+  if (mr >= 8) return 8;
+  if (mr >= 6) return 6;
+  return 4;
 }
 
 /// Default column-chunk width of the fused LASWP pass (elements). One chunk
@@ -389,6 +404,10 @@ struct PanelOptions {
   std::size_t nb_min = 8;
   /// Column-chunk width of the fused LASWP passes (0 = kLaswpColChunk).
   std::size_t laswp_col_chunk = 0;
+  /// Micro-kernel registry shape id for the packed GEMM updates (mr*100+nr;
+  /// 0 = auto-dispatch). Bitwise-neutral — every registered shape
+  /// accumulates identically — so a TuningDB entry can set it freely.
+  int microkernel = 0;
   /// Worker pool for the iamax reduction, rank updates, fused swaps and the
   /// packed GEMM updates; null = serial (same results either way).
   util::ThreadPool* pool = nullptr;
@@ -423,8 +442,11 @@ bool getrf_panel(util::MatrixView<T> a, std::span<std::size_t> ipiv,
   if (m > n1) {
     auto a21 = a.block(n1, 0, m - n1, n1);
     auto b_bot = a.block(n1, n1, m - n1, n2);
-    gemm_tiled<T>(T{-1}, a21, b_top, T{1}, b_bot,
-                  /*chunk_k=*/n1 < 300 ? (n1 ? n1 : 1) : 300, options.pool);
+    GemmOptions go;
+    go.chunk_k = n1 < 300 ? (n1 ? n1 : 1) : 300;
+    go.kernel = options.microkernel;
+    go.pool = options.pool;
+    gemm_tiled<T>(T{-1}, a21, b_top, T{1}, b_bot, go);
   }
   auto bottom = a.block(n1, n1, m - n1, n2);
   if (!getrf_panel<T>(bottom, ipiv.subspan(n1, n2), options)) return false;
@@ -465,17 +487,86 @@ void trsm_left_lower_unit_unblocked(util::MatrixView<const T> l,
   }
 }
 
+namespace detail {
+
+/// One column chunk of the blocked forward substitution, register-blocked
+/// at compile-time rank R: each destination-row pass streams R solved rows,
+/// subtracting them in ascending k order (a strictly sequential chain per
+/// element — bitwise-identical to the scalar sweep for any R).
+template <class T, std::size_t R>
+void trsm_lower_cols(util::MatrixView<const T> l, util::MatrixView<T> b,
+                     std::size_t c0, std::size_t w) {
+  const std::size_t n = l.rows();
+  for (std::size_t i = 1; i < n; ++i) {
+    T* bi = b.row(i) + c0;
+    std::size_t kk = 0;
+    for (; kk + R <= i; kk += R) {
+      T lv[R];
+      const T* br[R];
+      for (std::size_t u = 0; u < R; ++u) {
+        lv[u] = l(i, kk + u);
+        br[u] = b.row(kk + u) + c0;
+      }
+      for (std::size_t c = 0; c < w; ++c) {
+        T v = bi[c];
+        for (std::size_t u = 0; u < R; ++u) v -= lv[u] * br[u][c];
+        bi[c] = v;
+      }
+    }
+    for (; kk < i; ++kk) {
+      const T lik = l(i, kk);
+      const T* bk = b.row(kk) + c0;
+      for (std::size_t c = 0; c < w; ++c) bi[c] -= lik * bk[c];
+    }
+  }
+}
+
+/// Backward-substitution sibling of trsm_lower_cols (plus the diagonal
+/// scaling). The caller has already verified the diagonal is nonzero.
+template <class T, std::size_t R>
+void trsm_upper_cols(util::MatrixView<const T> u, util::MatrixView<T> b,
+                     std::size_t c0, std::size_t w) {
+  const std::size_t n = u.rows();
+  for (std::size_t i = n; i-- > 0;) {
+    T* bi = b.row(i) + c0;
+    std::size_t kk = i + 1;
+    for (; kk + R <= n; kk += R) {
+      T uv[R];
+      const T* br[R];
+      for (std::size_t q = 0; q < R; ++q) {
+        uv[q] = u(i, kk + q);
+        br[q] = b.row(kk + q) + c0;
+      }
+      for (std::size_t c = 0; c < w; ++c) {
+        T v = bi[c];
+        for (std::size_t q = 0; q < R; ++q) v -= uv[q] * br[q][c];
+        bi[c] = v;
+      }
+    }
+    for (; kk < n; ++kk) {
+      const T uik = u(i, kk);
+      const T* bk = b.row(kk) + c0;
+      for (std::size_t c = 0; c < w; ++c) bi[c] -= uik * bk[c];
+    }
+    const T inv = T{1} / u(i, i);
+    for (std::size_t c = 0; c < w; ++c) bi[c] *= inv;
+  }
+}
+
+}  // namespace detail
+
 /// DTRSM, left side, lower triangular, unit diagonal: solves L * X = B in
 /// place. Cache-blocked: B advances in column chunks sized so a chunk's
 /// solved rows stay L2-resident across the whole substitution (the scalar
 /// sweep re-streams every solved row from L3 once B outgrows the cache),
-/// and the k-loop runs rank-4 register-blocked updates that keep the
-/// destination row in registers instead of re-loading and re-storing it per
-/// solved row — the same sub-blocking idea as the GEMM micro-kernel's
-/// register tiles. Columns are arithmetically independent and each element's
-/// subtraction order is exactly the scalar loop's, so any chunking — and a
-/// pool fanning the chunks out — is bitwise-identical to the unblocked
-/// reference.
+/// and the k-loop runs register-blocked updates — rank inherited from the
+/// dispatched micro-kernel (trsm_unroll_rank) — that keep the destination
+/// row in registers instead of re-loading and re-storing it per solved
+/// row, the same sub-blocking idea as the GEMM micro-kernel's register
+/// tiles. Columns are arithmetically independent and each element's
+/// subtraction order is exactly the scalar loop's, so any chunking, rank,
+/// and a pool fanning the chunks out are all bitwise-identical to the
+/// unblocked reference.
 template <class T>
 void trsm_left_lower_unit(util::MatrixView<const T> l, util::MatrixView<T> b,
                           util::ThreadPool* pool) {
@@ -484,28 +575,20 @@ void trsm_left_lower_unit(util::MatrixView<const T> l, util::MatrixView<T> b,
   if (n == 0 || b.cols() == 0) return;
   const std::size_t chunk = trsm_col_chunk<T>(n);
   const std::size_t chunks = (b.cols() + chunk - 1) / chunk;
+  const std::size_t rank = trsm_unroll_rank<T>();
   auto body = [&](std::size_t ci) {
     const std::size_t c0 = ci * chunk;
     const std::size_t w = std::min(chunk, b.cols() - c0);
-    for (std::size_t i = 1; i < n; ++i) {
-      T* bi = b.row(i) + c0;
-      std::size_t kk = 0;
-      for (; kk + 4 <= i; kk += 4) {
-        const T l0 = l(i, kk), l1 = l(i, kk + 1);
-        const T l2 = l(i, kk + 2), l3 = l(i, kk + 3);
-        const T* b0 = b.row(kk) + c0;
-        const T* b1 = b.row(kk + 1) + c0;
-        const T* b2 = b.row(kk + 2) + c0;
-        const T* b3 = b.row(kk + 3) + c0;
-        for (std::size_t c = 0; c < w; ++c)
-          bi[c] =
-              (((bi[c] - l0 * b0[c]) - l1 * b1[c]) - l2 * b2[c]) - l3 * b3[c];
-      }
-      for (; kk < i; ++kk) {
-        const T lik = l(i, kk);
-        const T* bk = b.row(kk) + c0;
-        for (std::size_t c = 0; c < w; ++c) bi[c] -= lik * bk[c];
-      }
+    switch (rank) {
+      case 8:
+        detail::trsm_lower_cols<T, 8>(l, b, c0, w);
+        break;
+      case 6:
+        detail::trsm_lower_cols<T, 6>(l, b, c0, w);
+        break;
+      default:
+        detail::trsm_lower_cols<T, 4>(l, b, c0, w);
+        break;
     }
   };
   if (pool != nullptr && chunks > 1) {
@@ -537,8 +620,8 @@ void trsm_left_upper_unblocked(util::MatrixView<const T> u,
 
 /// DTRSM, left side, upper triangular, non-unit diagonal: solves U * X = B
 /// in place. Cache-blocked back substitution with the same column-chunk +
-/// rank-4 register blocking as trsm_left_lower_unit; bitwise-identical to
-/// the unblocked reference for the same reason.
+/// micro-kernel-derived register blocking as trsm_left_lower_unit;
+/// bitwise-identical to the unblocked reference for the same reason.
 ///
 /// Singularity contract (mirrors getrf's zero-pivot report): if any diagonal
 /// entry is exactly zero the solve returns false and leaves B untouched —
@@ -553,30 +636,20 @@ bool trsm_left_upper(util::MatrixView<const T> u, util::MatrixView<T> b,
   if (n == 0 || b.cols() == 0) return true;
   const std::size_t chunk = trsm_col_chunk<T>(n);
   const std::size_t chunks = (b.cols() + chunk - 1) / chunk;
+  const std::size_t rank = trsm_unroll_rank<T>();
   auto body = [&](std::size_t ci) {
     const std::size_t c0 = ci * chunk;
     const std::size_t w = std::min(chunk, b.cols() - c0);
-    for (std::size_t i = n; i-- > 0;) {
-      T* bi = b.row(i) + c0;
-      std::size_t kk = i + 1;
-      for (; kk + 4 <= n; kk += 4) {
-        const T u0 = u(i, kk), u1 = u(i, kk + 1);
-        const T u2 = u(i, kk + 2), u3 = u(i, kk + 3);
-        const T* b0 = b.row(kk) + c0;
-        const T* b1 = b.row(kk + 1) + c0;
-        const T* b2 = b.row(kk + 2) + c0;
-        const T* b3 = b.row(kk + 3) + c0;
-        for (std::size_t c = 0; c < w; ++c)
-          bi[c] =
-              (((bi[c] - u0 * b0[c]) - u1 * b1[c]) - u2 * b2[c]) - u3 * b3[c];
-      }
-      for (; kk < n; ++kk) {
-        const T uik = u(i, kk);
-        const T* bk = b.row(kk) + c0;
-        for (std::size_t c = 0; c < w; ++c) bi[c] -= uik * bk[c];
-      }
-      const T inv = T{1} / u(i, i);
-      for (std::size_t c = 0; c < w; ++c) bi[c] *= inv;
+    switch (rank) {
+      case 8:
+        detail::trsm_upper_cols<T, 8>(u, b, c0, w);
+        break;
+      case 6:
+        detail::trsm_upper_cols<T, 6>(u, b, c0, w);
+        break;
+      default:
+        detail::trsm_upper_cols<T, 4>(u, b, c0, w);
+        break;
     }
   };
   if (pool != nullptr && chunks > 1) {

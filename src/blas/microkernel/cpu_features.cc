@@ -1,0 +1,105 @@
+#include "blas/microkernel/cpu_features.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace xphi::blas::mk {
+
+namespace {
+
+// sysconf value if positive, else 0 (unsupported name, container without
+// the cache cpuinfo plumbed through, ...).
+std::size_t probe_sysconf(int name) {
+#if defined(__unix__) || defined(__APPLE__)
+  const long v = ::sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  __builtin_cpu_init();
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.avx = __builtin_cpu_supports("avx");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#elif defined(__x86_64__)
+  f.sse2 = true;  // baseline of the x86-64 ABI
+#endif
+
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  {
+    const std::size_t size = probe_sysconf(_SC_LEVEL1_DCACHE_SIZE);
+    const std::size_t assoc = probe_sysconf(_SC_LEVEL1_DCACHE_ASSOC);
+    const std::size_t line = probe_sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+    if (size != 0) {
+      f.l1d_bytes = size;
+      f.l1_probed = true;
+    }
+    if (assoc != 0) f.l1d_assoc = assoc;
+    if (line != 0) f.line_bytes = line;
+  }
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  {
+    const std::size_t size = probe_sysconf(_SC_LEVEL2_CACHE_SIZE);
+    const std::size_t assoc = probe_sysconf(_SC_LEVEL2_CACHE_ASSOC);
+    if (size != 0) {
+      f.l2_bytes = size;
+      f.l2_probed = true;
+    }
+    if (assoc != 0) f.l2_assoc = assoc;
+  }
+#endif
+#if defined(_SC_PAGESIZE)
+  {
+    const std::size_t page = probe_sysconf(_SC_PAGESIZE);
+    if (page != 0) f.page_bytes = page;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& host_cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+const char* widest_isa_label(const CpuFeatures& f) {
+  if (f.avx512f) return "avx512f";
+  if (f.avx2 && f.fma) return "avx2+fma";
+  if (f.sse2) return "sse2";
+  return "scalar";
+}
+
+std::string describe(const CpuFeatures& f) {
+  std::string s;
+  if (f.sse2) s += "sse2 ";
+  if (f.avx) s += "avx ";
+  if (f.avx2) s += "avx2 ";
+  if (f.fma) s += "fma ";
+  if (f.avx512f) s += "avx512f ";
+  if (s.empty()) s = "scalar ";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "| L1d %zuKiB/%zu-way/%zuB%s | L2 %zuKiB/%zu-way%s | "
+                "TLB %zux%zuKiB",
+                f.l1d_bytes / 1024, f.l1d_assoc, f.line_bytes,
+                f.l1_probed ? "" : " (default)", f.l2_bytes / 1024, f.l2_assoc,
+                f.l2_probed ? "" : " (default)", f.tlb_entries,
+                f.page_bytes / 1024);
+  s += buf;
+  return s;
+}
+
+}  // namespace xphi::blas::mk

@@ -1,0 +1,62 @@
+// Runtime CPU feature and cache-hierarchy probe for micro-kernel dispatch.
+//
+// The registry (registry.h) picks the widest kernel the *running* host
+// supports, so the binary can carry SSE2-, AVX2- and AVX-512-compiled
+// variants and still run everywhere; the analytic block model
+// (blas/block_model.h) derives mc/kc/nc from the cache geometry probed
+// here. Probing is best-effort: ISA bits come from the compiler's CPUID
+// helper, cache sizes/associativity from sysconf, and anything the platform
+// refuses to report falls back to conservative defaults (flagged via
+// l1_probed/l2_probed so benches can tell measured from assumed).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace xphi::blas::mk {
+
+struct CpuFeatures {
+  // ISA capability bits (CPUID; false off-x86 or when the probe is absent).
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+
+  // L1 data cache geometry. Defaults cover the common small end so the
+  // analytic model never over-sizes a panel when probing fails.
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l1d_assoc = 8;
+  std::size_t line_bytes = 64;
+  bool l1_probed = false;  // true when sysconf reported real numbers
+
+  // Unified L2 geometry.
+  std::size_t l2_bytes = 1024 * 1024;
+  std::size_t l2_assoc = 16;
+  bool l2_probed = false;
+
+  // Data-TLB reach approximation: entries x page size bounds the packed B
+  // panel (Goto's nc constraint). There is no portable TLB probe, so this
+  // stays a sane default (a second-level dTLB's worth of 4 KiB pages)
+  // unless the page size itself says otherwise.
+  std::size_t tlb_entries = 1024;
+  std::size_t page_bytes = 4096;
+
+  std::size_t tlb_reach_bytes() const noexcept {
+    return tlb_entries * page_bytes;
+  }
+};
+
+/// The probe, run once per process (thread-safe, cached).
+const CpuFeatures& host_cpu_features();
+
+/// "avx512f" / "avx2+fma" / "sse2" / "scalar" — the widest dispatchable
+/// tier, as recorded in bench artifacts.
+const char* widest_isa_label(const CpuFeatures& f);
+
+/// One-line human/JSON-friendly summary:
+/// "sse2 avx2 fma avx512f | L1d 48KiB/12-way/64B | L2 2MiB/16-way |
+///  TLB 1024x4KiB".
+std::string describe(const CpuFeatures& f);
+
+}  // namespace xphi::blas::mk

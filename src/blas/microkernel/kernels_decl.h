@@ -1,0 +1,64 @@
+// The shape family shared by the registry and every ISA kernel TU.
+//
+// Each shape is (Mr, Nr, TileRows): the register block is Mr x Nr and the
+// packed A-tile height is TileRows (an Mr multiple near the Basic Kernel 2
+// blocking of 30, so task granularity in gemm_tiled stays comparable across
+// shapes). The X-macro keeps the registry rows and the per-ISA function
+// tables in the same order without any runtime registration step.
+//
+//   3x8  — the PR 5 seed: 12 XMM accumulators, fits SSE2's 16-register file.
+//   4x8  — 16 ymm-halves; the portable middle ground.
+//   6x8  — 12 ymm accumulators + broadcasts/loads, the AVX2+FMA sweet spot
+//          (16 ymm available).
+//   8x6  — tall variant: trades B-row width for A-column reuse.
+//   4x12 — wide variant: 12 accumulators of 12, stresses B-stream bandwidth.
+//   8x8  — 16 zmm-halves / 8 zmm accumulators; the AVX-512 shape (32 zmm).
+#pragma once
+
+#include <cstddef>
+
+namespace xphi::blas::mk {
+
+#define XPHI_MK_FOR_EACH_SHAPE(X) \
+  X(3, 8, 30)                     \
+  X(4, 8, 28)                     \
+  X(6, 8, 30)                     \
+  X(8, 6, 32)                     \
+  X(4, 12, 28)                    \
+  X(8, 8, 32)
+
+inline constexpr std::size_t kShapeCount = 6;
+
+/// Per-shape entry points of one ISA translation unit.
+template <class T>
+struct Fns {
+  using FullFn = void (*)(const T* a_tile, const T* b_tile, std::size_t k,
+                          T alpha, T beta, T* c, std::size_t ldc);
+  using MaskedFn = void (*)(const T* a_tile, const T* b_tile, std::size_t k,
+                            T alpha, T beta, T* c, std::size_t ldc,
+                            std::size_t rows, std::size_t cols);
+  FullFn full = nullptr;
+  MaskedFn masked = nullptr;
+  explicit operator bool() const noexcept { return full != nullptr; }
+};
+
+template <class T>
+struct IsaTable {
+  Fns<T> fns[kShapeCount];  // XPHI_MK_FOR_EACH_SHAPE order
+};
+
+// One accessor pair per kernel TU. The generic TU is always compiled; the
+// AVX2/AVX-512 TUs are added only when the toolchain accepts their flags,
+// and registry.cc is told which ones exist via XPHI_MK_HAVE_* defines.
+const IsaTable<double>& generic_table_d();
+const IsaTable<float>& generic_table_f();
+#if defined(XPHI_MK_HAVE_AVX2)
+const IsaTable<double>& avx2_table_d();
+const IsaTable<float>& avx2_table_f();
+#endif
+#if defined(XPHI_MK_HAVE_AVX512)
+const IsaTable<double>& avx512_table_d();
+const IsaTable<float>& avx512_table_f();
+#endif
+
+}  // namespace xphi::blas::mk

@@ -1,0 +1,8 @@
+// Baseline-ISA kernel variants. CMake pins this TU to the x86-64 baseline
+// (SSE2) even under the -march=native preset, so "…@generic" always means
+// the same code a stock build runs — the frozen baseline bench_gemm
+// compares dispatched kernels against.
+#define XPHI_MK_TU_NS isa_generic
+#define XPHI_MK_TABLE_D generic_table_d
+#define XPHI_MK_TABLE_F generic_table_f
+#include "blas/microkernel/kernels_tu.inc"

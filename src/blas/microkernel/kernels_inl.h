@@ -1,0 +1,68 @@
+// Micro-kernel generator templates — the one source of truth for the
+// M_r x N_r register-block loop nests that every ISA variant compiles.
+//
+// This header is deliberately include-guard-free and include-free: each
+// kernel translation unit (kernels_generic.cc, kernels_avx2.cc,
+// kernels_avx512.cc) #includes it *inside its own namespace* after pulling
+// <cstddef> in at global scope. The per-TU namespace is what keeps one ISA's
+// instantiations out of another's: if the templates lived in a shared
+// namespace, the inline (COMDAT) instantiations from the -mavx2 TU and the
+// baseline TU would have identical mangled names and the linker would keep
+// an arbitrary one — an AVX2-coded copy could then be reached on an
+// SSE2-only host through what looks like the generic entry point. Distinct
+// namespaces give distinct symbols, so each table entry points at code
+// compiled with exactly its advertised flags.
+//
+// Determinism contract (DESIGN.md §12): for every shape and ISA, each C
+// element accumulates its k-products in ascending k order into a single
+// accumulator, then stores alpha*acc + beta*c once. The shape only groups
+// *rows*; it never reassociates a C element's reduction. Combined with
+// -ffp-contract=off on every kernel TU (no FMA contraction of a*b+c), all
+// registered kernels are bitwise-identical to gemm_ref for the same operand
+// split.
+
+/// Full-tile fast path: C is exactly TileRows x Nr, processed as Mr-row
+/// register sub-blocks whose accumulators fit the target's vector file.
+/// a_tile: TileRows x k column-major; b_tile: k x Nr row-major.
+template <class T, std::size_t Mr, std::size_t Nr, std::size_t TileRows>
+void ukr_full(const T* a_tile, const T* b_tile, std::size_t k, T alpha,
+              T beta, T* c, std::size_t ldc) {
+  static_assert(TileRows % Mr == 0, "Mr must divide the packed tile height");
+  for (std::size_t r0 = 0; r0 < TileRows; r0 += Mr) {
+    T acc[Mr][Nr] = {};
+    const T* a_rows = a_tile + r0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const T* a_col = a_rows + j * TileRows;  // contiguous column of a
+      const T* b_row = b_tile + j * Nr;        // contiguous row of b
+      for (std::size_t r = 0; r < Mr; ++r) {
+        const T av = a_col[r];
+        for (std::size_t c2 = 0; c2 < Nr; ++c2) acc[r][c2] += av * b_row[c2];
+      }
+    }
+    T* crow = c + r0 * ldc;
+    for (std::size_t r = 0; r < Mr; ++r)
+      for (std::size_t c2 = 0; c2 < Nr; ++c2)
+        crow[r * ldc + c2] = alpha * acc[r][c2] + beta * crow[r * ldc + c2];
+  }
+}
+
+/// Masked path for edge tiles: runs the full zero-padded tile and writes
+/// only the live rows x cols corner — the paper's "edge waste" is compute,
+/// never a wrong store. Same per-element accumulation order as ukr_full.
+template <class T, std::size_t TileRows, std::size_t Nr>
+void ukr_masked(const T* a_tile, const T* b_tile, std::size_t k, T alpha,
+                T beta, T* c, std::size_t ldc, std::size_t rows,
+                std::size_t cols) {
+  T acc[TileRows][Nr] = {};
+  for (std::size_t j = 0; j < k; ++j) {
+    const T* a_col = a_tile + j * TileRows;
+    const T* b_row = b_tile + j * Nr;
+    for (std::size_t r = 0; r < TileRows; ++r) {
+      const T av = a_col[r];
+      for (std::size_t c2 = 0; c2 < Nr; ++c2) acc[r][c2] += av * b_row[c2];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c2 = 0; c2 < cols; ++c2)
+      c[r * ldc + c2] = alpha * acc[r][c2] + beta * c[r * ldc + c2];
+}

@@ -35,10 +35,23 @@
 
 namespace xphi::blas {
 
-/// Register-tile geometry. Basic Kernel 2 blocks 30 rows of C; the vector
-/// width of 8 doubles fixes the B tile width.
-inline constexpr std::size_t kTileRows = 30;
-inline constexpr std::size_t kTileCols = 8;
+/// Register micro-block shape of the *generic fallback* kernel: 3x8 keeps
+/// the accumulator block at 24 doubles — 12 XMM registers on a baseline
+/// SSE2 build (16 available), leaving room for the b-row loads and the a
+/// broadcast. Wider shapes for wider register files live in the runtime
+/// registry (blas/microkernel/registry.h); this pair only anchors the
+/// default pack geometry and the template fallback path.
+inline constexpr std::size_t kMicroRows = 3;
+inline constexpr std::size_t kMicroCols = 8;
+
+/// Default packed-tile geometry, derived from the micro shape: 10 micro-row
+/// blocks per A tile reproduces Basic Kernel 2's 30-row C block; the B tile
+/// width is the micro-block width (one vector of 8 doubles). Registry
+/// kernels carry their own tile_rows/nr and gemm_tiled packs to match, so
+/// these constants only govern the fallback path and callers that pack
+/// ahead of time with the defaults.
+inline constexpr std::size_t kTileRows = 10 * kMicroRows;
+inline constexpr std::size_t kTileCols = kMicroCols;
 
 /// Packed form of an M x k block of A.
 template <class T>

@@ -30,6 +30,7 @@ HybridFunctionalResult run_functional_hybrid_hpl(
   blas::PanelOptions popt;
   if (cfg.panel_nb_min != 0) popt.nb_min = cfg.panel_nb_min;
   popt.laswp_col_chunk = cfg.laswp_col_chunk;
+  popt.microkernel = cfg.microkernel;
 
   // Factor panel `p` in place and make its pivots absolute. Returns false on
   // a zero pivot.

@@ -30,6 +30,10 @@ struct HybridFunctionalConfig {
   // Critical-path kernel knobs (blas::PanelOptions); 0 = kernel defaults.
   std::size_t panel_nb_min = 0;     // recursive-panel cutoff
   std::size_t laswp_col_chunk = 0;  // fused-LASWP column chunk
+  // Micro-kernel registry shape for the panel's packed update
+  // (mr*100 + nr; 0 = auto-dispatch). The offload engine's GEMM reads the
+  // same knob from offload.knobs.microkernel. Bitwise-neutral.
+  int microkernel = 0;
 };
 
 struct HybridFunctionalResult {

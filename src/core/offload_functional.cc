@@ -125,6 +125,9 @@ FunctionalOffloadStats offload_gemm_functional(
       if (tuned->nt != 0) knobs.nt = tuned->nt;
       if (tuned->pack_cache_entries != 0)
         knobs.pack_cache_entries = tuned->pack_cache_entries;
+      if (tuned->microkernel != 0) knobs.microkernel = tuned->microkernel;
+      if (tuned->gemm_mc != 0) knobs.gemm_mc = tuned->gemm_mc;
+      if (tuned->gemm_nc != 0) knobs.gemm_nc = tuned->gemm_nc;
     }
   }
   if (knobs.mt == 0) knobs.mt = 64;
@@ -163,9 +166,13 @@ FunctionalOffloadStats offload_gemm_functional(
   auto host_compute = [&](std::size_t idx) {
     const Tile& t = grid.tile(idx);
     auto cb = c.block(t.r0, t.c0, t.rows, t.cols);
+    blas::GemmOptions go;
+    go.chunk_k = k == 0 ? 1 : k;  // one k-chunk, like the card's packed GEMM
+    go.mc = knobs.gemm_mc;
+    go.nc = knobs.gemm_nc;
+    go.kernel = knobs.microkernel;
     blas::gemm_tiled<double>(alpha, a.block(t.r0, 0, t.rows, k),
-                             b.block(0, t.c0, k, t.cols), 1.0, cb,
-                             /*chunk_k=*/k == 0 ? 1 : k);
+                             b.block(0, t.c0, k, t.cols), 1.0, cb, go);
   };
 
   // Claims `idx` for the host (if still unclaimed) and computes it locally:
@@ -213,7 +220,9 @@ FunctionalOffloadStats offload_gemm_functional(
         res.product = std::make_unique<Matrix<double>>(req->rows, req->cols);
         res.product->fill(0.0);
         blas::outer_product_packed<double>(1.0, *req->a, *req->b, 0.0,
-                                           res.product->view());
+                                           res.product->view(),
+                                           /*pool=*/nullptr,
+                                           knobs.microkernel);
         if (req->checksum != 0) res.checksum = result_checksum(res);
         results.enqueue(std::move(res));
       }

@@ -146,6 +146,7 @@ Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
   if (ctx.options != nullptr) {
     if (ctx.options->panel_nb_min != 0) popt.nb_min = ctx.options->panel_nb_min;
     popt.laswp_col_chunk = ctx.options->laswp_col_chunk;
+    popt.microkernel = ctx.options->microkernel;
   }
   const bool ok = blas::getrf_panel<double>(panel, piv, popt);
   assert(ok && "singular panel in distributed HPL");
@@ -551,7 +552,10 @@ void update_range(RankContext& ctx, std::size_t pw, const Matrix<double>& l21,
     core::offload_gemm_functional(-1.0, l21.view(), u, a22,
                                   ctx.options->offload);
   } else {
-    blas::gemm_tiled<double>(-1.0, l21.view(), u, 1.0, a22, pw);
+    blas::GemmOptions go;
+    go.chunk_k = pw;
+    go.kernel = ctx.options != nullptr ? ctx.options->microkernel : 0;
+    blas::gemm_tiled<double>(-1.0, l21.view(), u, 1.0, a22, go);
   }
   ctx.record(SpanKind::kGemm, t0);
 }

@@ -77,6 +77,11 @@ struct DistributedHplOptions {
   /// factorization and the fused local row-swap passes; 0 = kernel defaults.
   std::size_t panel_nb_min = 0;
   std::size_t laswp_col_chunk = 0;
+  /// Micro-kernel registry shape for the panel and the local trailing GEMM
+  /// (mr*100 + nr; 0 = auto-dispatch). Every rank must use the same value:
+  /// the shape is bitwise-neutral, but a consistent choice keeps per-rank
+  /// timing symmetric. The offload engine reads offload.knobs.microkernel.
+  int microkernel = 0;
 
   /// Optional capture of per-rank compute and communication spans
   /// (lane = rank; kBroadcast covers panel/U transfers and their waits,

@@ -44,6 +44,7 @@ void execute_task(const Task& task, Shared& sh) {
     blas::PanelOptions popt;
     if (sh.tuning.panel_nb_min != 0) popt.nb_min = sh.tuning.panel_nb_min;
     popt.laswp_col_chunk = sh.tuning.laswp_col_chunk;
+    popt.microkernel = sh.tuning.microkernel;
     const bool ok = blas::getrf_panel<double>(panel, piv, popt);
     sh.panel_seconds.fetch_add(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -86,7 +87,9 @@ void execute_task(const Task& task, Shared& sh) {
       const auto pl21 = sh.packs.get_a(l21, /*tag=*/task.stage);
       thread_local blas::PackedB<double> pu;
       pu.pack(u);
-      blas::outer_product_packed<double>(-1.0, *pl21, pu, 1.0, a22);
+      blas::outer_product_packed<double>(-1.0, *pl21, pu, 1.0, a22,
+                                         /*pool=*/nullptr,
+                                         sh.tuning.microkernel);
     }
   }
 }

@@ -28,6 +28,9 @@ struct DagLuPackStats {
 struct DagLuTuning {
   std::size_t panel_nb_min = 0;     // recursion cutoff of getrf_panel
   std::size_t laswp_col_chunk = 0;  // column chunk of the fused LASWP
+  // Micro-kernel registry shape (mr*100 + nr; 0 = auto-dispatch) for the
+  // panel's packed update and the trailing outer products. Bitwise-neutral.
+  int microkernel = 0;
 };
 
 /// Factors `a` in place with the dynamic DAG scheduler on `workers` real

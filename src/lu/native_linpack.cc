@@ -22,6 +22,13 @@ NativeLinpackReport run_native_linpack(std::size_t n_functional,
       if (tuned->panel_nb_min > 0) panel.panel_nb_min = tuned->panel_nb_min;
       if (tuned->laswp_col_chunk > 0)
         panel.laswp_col_chunk = tuned->laswp_col_chunk;
+      if (tuned->microkernel != 0) panel.microkernel = tuned->microkernel;
+    }
+    // A dedicated micro-kernel co-design entry (spaces::microkernel) wins
+    // over whatever kernel the coarser panel search happened to record.
+    if (const auto tuned = options.tuner->best(
+            "microkernel", tune::bucket(n_functional, fnb, fnb))) {
+      if (tuned->microkernel != 0) panel.microkernel = tuned->microkernel;
     }
   }
   report.functional = run_functional_dag_lu(n_functional, fnb, options.workers,

@@ -47,6 +47,13 @@ struct Knobs {
   // recursive panel factorization and the fused-LASWP column chunk.
   std::size_t panel_nb_min = 0;     // 0 = kernel default (8)
   std::size_t laswp_col_chunk = 0;  // 0 = kernel default (kLaswpColChunk)
+  // GEMM micro-kernel registry shape (mr*100 + nr, e.g. 608 = 6x8) and the
+  // mc/nc cache blocking of blas::GemmOptions. All three are
+  // bitwise-neutral (unlike chunk_k); blas/block_model.h supplies the
+  // analytic starting point the tuner refines.
+  int microkernel = 0;      // 0 = auto-dispatch (widest supported)
+  std::size_t gemm_mc = 0;  // 0 = unbounded
+  std::size_t gemm_nc = 0;  // 0 = unbounded
 };
 
 /// Name/value pairs, one per *set* field — the encoded form a TuningDB entry
@@ -74,6 +81,11 @@ inline std::vector<std::pair<std::string, long long>> values_from_knobs(
   if (k.laswp_col_chunk != 0)
     v.emplace_back("laswp_col_chunk",
                    static_cast<long long>(k.laswp_col_chunk));
+  if (k.microkernel != 0) v.emplace_back("microkernel", k.microkernel);
+  if (k.gemm_mc != 0)
+    v.emplace_back("gemm_mc", static_cast<long long>(k.gemm_mc));
+  if (k.gemm_nc != 0)
+    v.emplace_back("gemm_nc", static_cast<long long>(k.gemm_nc));
   return v;
 }
 
@@ -107,6 +119,12 @@ inline Knobs knobs_from_values(
       k.panel_nb_min = static_cast<std::size_t>(v);
     } else if (name == "laswp_col_chunk") {
       k.laswp_col_chunk = static_cast<std::size_t>(v);
+    } else if (name == "microkernel") {
+      k.microkernel = static_cast<int>(v);
+    } else if (name == "gemm_mc") {
+      k.gemm_mc = static_cast<std::size_t>(v);
+    } else if (name == "gemm_nc") {
+      k.gemm_nc = static_cast<std::size_t>(v);
     }
     // Unknown knob names: skip.
   }

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <limits>
 
+#include "blas/block_model.h"
+#include "blas/microkernel/registry.h"
+
 namespace xphi::tune {
 
 SearchSpace& SearchSpace::add(std::string name, std::vector<long long> values,
@@ -114,6 +117,40 @@ SearchSpace panel() {
   s.add("panel_nb_min", {4, 8, 16, 32, 64}, 8);
   s.add("laswp_col_chunk", {64, 128, 256, 512, 1024}, 256);
   return s;
+}
+
+SearchSpace microkernel() {
+  SearchSpace s;
+  // Registry shape ids (mr*100 + nr), 0 = auto-dispatch. The candidate
+  // list mirrors blas/microkernel/kernels_decl.h.
+  s.add("microkernel", {0, 308, 408, 608, 806, 412, 808}, 0);
+  s.add("chunk_k", {120, 180, 240, 300, 340, 400, 480, 600}, 300);
+  // mc in row multiples the tile heights share; 0 = unbounded (PR 5
+  // behavior). The high end covers what a multi-MiB L2 derives to.
+  s.add("gemm_mc", {0, 96, 192, 288, 384, 480, 640, 960}, 0);
+  s.add("gemm_nc", {0, 192, 384, 512, 680, 1024, 2048, 4096}, 0);
+  return s;
+}
+
+std::vector<std::size_t> microkernel_seed(const SearchSpace& space) {
+  const auto sel = blas::mk::select_kernel<double>(0);
+  const auto& cpu = blas::mk::host_cpu_features();
+  const blas::BlockSizes model = blas::analytic_block_sizes(
+      cpu, sel ? sel.mr() : 3, sel ? sel.nr() : 8, sizeof(double));
+  std::vector<std::size_t> point = space.default_point();
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    const std::string& name = space.dim(d).name;
+    if (name == "microkernel" && sel) {
+      point[d] = space.nearest_index(d, sel.id());
+    } else if (name == "chunk_k") {
+      point[d] = space.nearest_index(d, static_cast<long long>(model.kc));
+    } else if (name == "gemm_mc") {
+      point[d] = space.nearest_index(d, static_cast<long long>(model.mc));
+    } else if (name == "gemm_nc") {
+      point[d] = space.nearest_index(d, static_cast<long long>(model.nc));
+    }
+  }
+  return point;
 }
 
 }  // namespace spaces

@@ -76,6 +76,19 @@ SearchSpace lookahead();
 /// LASWP column chunk (blas::PanelOptions).
 SearchSpace panel();
 
+/// GEMM micro-kernel co-design space: registry shape (mr*100 + nr, 0 =
+/// auto-dispatch) plus the mc/kc/nc cache blocking of blas::GemmOptions
+/// (0 = unbounded for mc/nc).
+SearchSpace microkernel();
+
+/// The analytic starting point for spaces::microkernel(): the dispatched
+/// kernel shape and blas/block_model.h's mc/kc/nc for the probed cache
+/// geometry, snapped onto the space's candidate grid. Feed it to
+/// SearchOptions::start — the co-design paper's point: seed the search at
+/// the model's answer and spend the (smaller) budget refining, not
+/// rediscovering.
+std::vector<std::size_t> microkernel_seed(const SearchSpace& space);
+
 }  // namespace spaces
 
 }  // namespace xphi::tune

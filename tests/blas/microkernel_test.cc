@@ -1,0 +1,370 @@
+// Tests for the runtime-dispatched micro-kernel registry (DESIGN.md §12):
+// per-shape bitwise identity against the reference GEMM across ragged
+// edges, forced dispatch of every registered shape, the analytic block
+// model's cache-fit invariants, and the bitwise-neutrality guarantees the
+// LU drivers rely on (kernel shape, mc/nc blocking, TRSM register rank).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "blas/block_model.h"
+#include "blas/gemm_ref.h"
+#include "blas/gemm_tiled.h"
+#include "blas/lu_kernels.h"
+#include "blas/microkernel/cpu_features.h"
+#include "blas/microkernel/registry.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace xphi::blas {
+namespace {
+
+using util::Matrix;
+using util::MatrixView;
+
+void fill_random(MatrixView<double> m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rng.next_centered();
+}
+
+bool bitwise_equal(MatrixView<const double> a, MatrixView<const double> b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (std::bit_cast<std::uint64_t>(a(r, c)) !=
+          std::bit_cast<std::uint64_t>(b(r, c)))
+        return false;
+  return true;
+}
+
+/// gemm_tiled with the given forced kernel spec, single k-chunk (chunk_k
+/// >= K keeps the accumulation order identical to gemm_ref).
+Matrix<double> run_forced(const std::string& spec, std::size_t m,
+                          std::size_t n, std::size_t k, std::uint64_t seed) {
+  Matrix<double> a(m, k), b(k, n), c(m, n);
+  fill_random(a.view(), seed);
+  fill_random(b.view(), seed ^ 0x51);
+  fill_random(c.view(), seed ^ 0xc3);
+  GemmOptions go;
+  go.chunk_k = k == 0 ? 1 : k;
+  go.kernel_spec = spec.c_str();
+  gemm_tiled<double>(1.5, a.view(), b.view(), -0.5, c.view(), go);
+  return c;
+}
+
+Matrix<double> run_ref(std::size_t m, std::size_t n, std::size_t k,
+                       std::uint64_t seed) {
+  Matrix<double> a(m, k), b(k, n), c(m, n);
+  fill_random(a.view(), seed);
+  fill_random(b.view(), seed ^ 0x51);
+  fill_random(c.view(), seed ^ 0xc3);
+  gemm_ref<double>(1.5, a.view(), b.view(), -0.5, c.view());
+  return c;
+}
+
+TEST(MicrokernelRegistry, RegistersEveryShape) {
+  const auto& reg = mk::registry<double>();
+  ASSERT_EQ(reg.size(), mk::kShapeCount);
+  const int expected_ids[] = {308, 408, 608, 806, 412, 808};
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_EQ(reg[i].shape.id, expected_ids[i]);
+    EXPECT_EQ(reg[i].shape.id,
+              static_cast<int>(reg[i].shape.mr * 100 + reg[i].shape.nr));
+    // The pack tile height is always a multiple of the register block.
+    EXPECT_EQ(reg[i].shape.tile_rows % reg[i].shape.mr, 0u);
+    // The generic tier is compiled unconditionally: every shape has it.
+    EXPECT_TRUE(
+        static_cast<bool>(reg[i].variants[static_cast<int>(mk::Isa::kGeneric)]))
+        << reg[i].shape.name;
+  }
+  // float mirrors double.
+  EXPECT_EQ(mk::registry<float>().size(), mk::kShapeCount);
+}
+
+TEST(MicrokernelRegistry, ForcedDispatchEveryShape) {
+  for (const auto& k : mk::registry<double>()) {
+    // Knob-id forcing (the TuningDB path). The env pin would win over the
+    // id by design, so only assert the id path with no pin active.
+    if (mk::env_override_spec().empty()) {
+      const auto sel = mk::select_kernel<double>(k.shape.id);
+      ASSERT_TRUE(static_cast<bool>(sel)) << k.shape.name;
+      EXPECT_EQ(sel.id(), k.shape.id);
+      EXPECT_EQ(sel.mr(), k.shape.mr);
+      EXPECT_EQ(sel.nr(), k.shape.nr);
+    }
+    // Spec forcing is env-free and must pin both shape and tier.
+    const std::string spec = std::string(k.shape.name) + "@generic";
+    const auto forced = mk::select_kernel_spec<double>(spec);
+    ASSERT_TRUE(forced.has_value()) << spec;
+    EXPECT_EQ(forced->id(), k.shape.id);
+    EXPECT_EQ(forced->isa, mk::Isa::kGeneric);
+    EXPECT_EQ(forced->name(), spec);
+  }
+}
+
+TEST(MicrokernelRegistry, SpecParsing) {
+  EXPECT_FALSE(mk::select_kernel_spec<double>("bogus").has_value());
+  EXPECT_FALSE(mk::select_kernel_spec<double>("x8").has_value());
+  EXPECT_FALSE(mk::select_kernel_spec<double>("3x").has_value());
+  EXPECT_FALSE(mk::select_kernel_spec<double>("3x8@mmx").has_value());
+  EXPECT_FALSE(mk::select_kernel_spec<double>("9x9").has_value());
+
+  const auto auto_generic = mk::select_kernel_spec<double>("auto@generic");
+  ASSERT_TRUE(auto_generic.has_value());
+  EXPECT_EQ(auto_generic->id(), 308);  // the generic tier's preferred shape
+  EXPECT_EQ(auto_generic->isa, mk::Isa::kGeneric);
+
+  const auto plain = mk::select_kernel_spec<double>("auto");
+  ASSERT_TRUE(plain.has_value());  // widest host tier, whatever it is
+}
+
+TEST(MicrokernelRegistry, SelectForTileMatchesPackGeometry) {
+  // The default pack layout (30 x 8) is served by the 3x8 and 6x8 shapes;
+  // the picked one must match the geometry exactly.
+  const auto sel = mk::select_for_tile<double>(30, 8);
+  ASSERT_TRUE(static_cast<bool>(sel));
+  EXPECT_EQ(sel.tile_rows(), 30u);
+  EXPECT_EQ(sel.nr(), 8u);
+  EXPECT_TRUE(sel.mr() == 3 || sel.mr() == 6);
+
+  const auto pinned = mk::select_for_tile<double>(28, 8, 408);
+  if (mk::env_override_spec().empty()) {
+    ASSERT_TRUE(static_cast<bool>(pinned));
+    EXPECT_EQ(pinned.id(), 408);
+  }
+
+  // No registered shape packs 17-row tiles: the caller keeps its own path.
+  EXPECT_FALSE(static_cast<bool>(mk::select_for_tile<double>(17, 8)));
+}
+
+/// Run only when ctest launches this binary with XPHI_MICROKERNEL set (the
+/// microkernel_env_pin entry in tests/CMakeLists.txt): the env pin must
+/// beat the TuningDB knob id.
+TEST(MicrokernelRegistry, EnvPinBeatsKnob) {
+  if (mk::env_override_spec().empty())
+    GTEST_SKIP() << "XPHI_MICROKERNEL not set for this run";
+  const auto pinned = mk::select_kernel_spec<double>(mk::env_override_spec());
+  ASSERT_TRUE(pinned.has_value()) << mk::env_override_spec();
+  for (const int id : {0, 308, 808}) {
+    const auto sel = mk::select_kernel<double>(id);
+    ASSERT_TRUE(static_cast<bool>(sel));
+    EXPECT_EQ(sel.id(), pinned->id()) << "knob id " << id;
+    EXPECT_EQ(sel.isa, pinned->isa);
+  }
+}
+
+TEST(MicrokernelBitwise, EveryShapeAndIsaMatchesReference) {
+  for (const auto& k : mk::registry<double>()) {
+    const std::size_t mr = k.shape.mr, nr = k.shape.nr, tr = k.shape.tile_rows;
+    // Ragged grids straddling the register block and the pack tile.
+    const std::size_t ms[] = {1, mr - 1, mr, mr + 1, tr, tr + 5};
+    const std::size_t ns[] = {1, nr - 1, nr, nr + 1, 2 * nr + 3};
+    const std::size_t ks[] = {1, 7, 31};
+    for (std::size_t isa = 0; isa < mk::kIsaCount; ++isa) {
+      if (!k.variants[isa]) continue;  // tier not compiled into this build
+      const std::string spec = std::string(k.shape.name) + "@" +
+                               mk::isa_name(static_cast<mk::Isa>(isa));
+      // The spec must actually resolve on this host (a host without AVX2
+      // still links the AVX2 table when the compiler supports the flag,
+      // but dispatching it would execute illegal instructions).
+      if (!mk::select_kernel_spec<double>(spec).has_value()) continue;
+      for (const std::size_t m : ms) {
+        if (m == 0) continue;
+        for (const std::size_t n : ns) {
+          if (n == 0) continue;
+          for (const std::size_t kk : ks) {
+            const std::uint64_t seed = m * 1000003 + n * 1009 + kk;
+            const auto got = run_forced(spec, m, n, kk, seed);
+            const auto want = run_ref(m, n, kk, seed);
+            ASSERT_TRUE(bitwise_equal(got.view(), want.view()))
+                << spec << " m=" << m << " n=" << n << " k=" << kk;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MicrokernelBitwise, AllShapesAgree) {
+  // The determinism contract: the kernel shape never changes a bit of the
+  // result (each C element is one ascending-k chain regardless of Mr x Nr).
+  const std::size_t m = 41, n = 37, k = 23;
+  Matrix<double> first;
+  bool have_first = false;
+  for (const auto& kern : mk::registry<double>()) {
+    const std::string spec = std::string(kern.shape.name) + "@generic";
+    auto c = run_forced(spec, m, n, k, 77);
+    if (!have_first) {
+      first = std::move(c);
+      have_first = true;
+      continue;
+    }
+    ASSERT_TRUE(bitwise_equal(c.view(), first.view())) << spec;
+  }
+  ASSERT_TRUE(have_first);
+}
+
+TEST(MicrokernelBitwise, CacheBlockingIsBitwiseNeutral) {
+  // mc/nc reorder whole register-block updates, never the k chain inside
+  // one: any blocking must reproduce the unblocked bits exactly.
+  const std::size_t m = 97, n = 83, k = 45;
+  Matrix<double> a(m, k), b(k, n);
+  fill_random(a.view(), 5);
+  fill_random(b.view(), 6);
+  Matrix<double> base(m, n);
+  fill_random(base.view(), 7);
+
+  Matrix<double> want(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) want(r, c) = base(r, c);
+  GemmOptions plain;
+  plain.chunk_k = k;
+  gemm_tiled<double>(-1.0, a.view(), b.view(), 1.0, want.view(), plain);
+
+  for (const auto& [mc, nc] : {std::pair<std::size_t, std::size_t>{30, 16},
+                               {60, 8}, {90, 40}, {30, 0}, {0, 24}}) {
+    Matrix<double> got(m, n);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) got(r, c) = base(r, c);
+    GemmOptions go;
+    go.chunk_k = k;
+    go.mc = mc;
+    go.nc = nc;
+    gemm_tiled<double>(-1.0, a.view(), b.view(), 1.0, got.view(), go);
+    ASSERT_TRUE(bitwise_equal(got.view(), want.view()))
+        << "mc=" << mc << " nc=" << nc;
+  }
+}
+
+TEST(CpuFeaturesProbe, Sane) {
+  const auto& f = mk::host_cpu_features();
+  EXPECT_GT(f.l1d_bytes, 0u);
+  EXPECT_GT(f.l1d_assoc, 0u);
+  EXPECT_GT(f.line_bytes, 0u);
+  EXPECT_GT(f.l2_bytes, f.l1d_bytes);
+  EXPECT_GT(f.tlb_reach_bytes(), 0u);
+  // Feature bits are monotone: avx512f implies avx2 implies sse2 on any
+  // real part (and on our probe, which reads the same CPUID leaves).
+  if (f.avx512f) {
+    EXPECT_TRUE(f.avx2);
+  }
+  if (f.avx2) {
+    EXPECT_TRUE(f.sse2);
+  }
+  EXPECT_FALSE(mk::describe(f).empty());
+  EXPECT_NE(mk::widest_isa_label(f), nullptr);
+}
+
+TEST(BlockModel, FitsProbedCaches) {
+  const auto& f = mk::host_cpu_features();
+  for (const auto& k : mk::registry<double>()) {
+    const BlockSizes b =
+        analytic_block_sizes(f, k.shape.mr, k.shape.nr, sizeof(double));
+    SCOPED_TRACE(k.shape.name);
+    // Alignment / multiplicity invariants.
+    EXPECT_EQ(b.kc % 4, 0u);
+    EXPECT_GE(b.kc, 32u);
+    EXPECT_LE(b.kc, 2048u);
+    EXPECT_EQ(b.mc % k.shape.mr, 0u);
+    EXPECT_EQ(b.nc % k.shape.nr, 0u);
+    // L1: the A and B micro-panels fit together with one way to spare.
+    const std::size_t l1_use =
+        (k.shape.mr + k.shape.nr) * b.kc * sizeof(double);
+    EXPECT_LE(l1_use, f.l1d_bytes) << "micro-panels overflow L1";
+    // L2: the packed mc x kc A block fits at (W2-1)/W2 occupancy.
+    const std::size_t w2 = f.l2_assoc >= 2 ? f.l2_assoc : 2;
+    EXPECT_LE(b.mc * b.kc * sizeof(double), f.l2_bytes / w2 * (w2 - 1) + 1)
+        << "A block overflows the L2 budget";
+    // TLB: the kc x nc B panel stays within half the probed reach.
+    EXPECT_LE(b.kc * b.nc * sizeof(double),
+              std::max(f.tlb_reach_bytes() / 2,
+                       k.shape.nr * b.kc * sizeof(double)))
+        << "B panel overflows TLB reach";
+  }
+}
+
+TEST(BlockModel, DegenerateProbeStillRunnable) {
+  mk::CpuFeatures f;  // defaults
+  f.l1d_bytes = 1024;  // absurdly small cache
+  f.l1d_assoc = 0;     // broken probe
+  f.l2_bytes = 4096;
+  f.l2_assoc = 0;
+  f.tlb_entries = 1;
+  const BlockSizes b = analytic_block_sizes(f, 6, 8, sizeof(double));
+  EXPECT_GE(b.kc, 32u);  // clamped floor
+  EXPECT_GE(b.mc, 6u);
+  EXPECT_GE(b.nc, 8u);
+  EXPECT_EQ(b.mc % 6, 0u);
+  EXPECT_EQ(b.nc % 8, 0u);
+}
+
+TEST(BlockModel, SeedTracksKernelShape) {
+  // A wider register block shifts the L1 way split: kc scales with the
+  // shape, it is not a constant the model ignores the kernel for.
+  mk::CpuFeatures f;
+  f.l1d_bytes = 32 * 1024;
+  f.l1d_assoc = 8;
+  f.line_bytes = 64;
+  f.l2_bytes = 1024 * 1024;
+  f.l2_assoc = 16;
+  const BlockSizes narrow = analytic_block_sizes(f, 3, 8, sizeof(double));
+  const BlockSizes wide = analytic_block_sizes(f, 8, 6, sizeof(double));
+  EXPECT_NE(narrow.kc, wide.kc);
+}
+
+TEST(TrsmRank, RegisterBlockingIsBitwiseNeutral) {
+  // The dispatched rank (4/6/8 from the kernel's Mr) streams R solved rows
+  // per pass but keeps each element's subtraction chain in ascending k
+  // order — bitwise-identical to the scalar substitution.
+  const std::size_t n = 53, w = 29;
+  Matrix<double> l(n, n), b0(n, w);
+  fill_random(l.view(), 11);
+  fill_random(b0.view(), 12);
+
+  Matrix<double> want(n, w), got(n, w);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < w; ++c) want(r, c) = got(r, c) = b0(r, c);
+  trsm_left_lower_unit_unblocked<double>(l.view(), want.view());
+  trsm_left_lower_unit<double>(l.view(), got.view());
+  ASSERT_TRUE(bitwise_equal(got.view(), want.view()));
+
+  // Upper solve: diagonal away from zero, same contract.
+  for (std::size_t i = 0; i < n; ++i) l(i, i) += l(i, i) < 0 ? -2.0 : 2.0;
+  Matrix<double> wantu(n, w), gotu(n, w);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < w; ++c) wantu(r, c) = gotu(r, c) = b0(r, c);
+  trsm_left_upper_unblocked<double>(l.view(), wantu.view());
+  ASSERT_TRUE(trsm_left_upper<double>(l.view(), gotu.view()));
+  ASSERT_TRUE(bitwise_equal(gotu.view(), wantu.view()));
+}
+
+TEST(GemmDispatch, AutoDispatchReportsWidestTier) {
+  const auto sel = mk::select_kernel<double>(0);
+  ASSERT_TRUE(static_cast<bool>(sel));
+  if (!mk::env_override_spec().empty()) GTEST_SKIP() << "env pin active";
+  const auto& f = mk::host_cpu_features();
+#if defined(XPHI_MK_HAVE_AVX512)
+  if (f.avx512f) {
+    EXPECT_EQ(sel.isa, mk::Isa::kAvx512);
+    EXPECT_EQ(sel.id(), 808);
+    return;
+  }
+#endif
+#if defined(XPHI_MK_HAVE_AVX2)
+  if (f.avx2 && f.fma) {
+    EXPECT_EQ(sel.isa, mk::Isa::kAvx2);
+    EXPECT_EQ(sel.id(), 608);
+    return;
+  }
+#endif
+  EXPECT_EQ(sel.isa, mk::Isa::kGeneric);
+  EXPECT_EQ(sel.id(), 308);
+}
+
+}  // namespace
+}  // namespace xphi::blas

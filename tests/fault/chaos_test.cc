@@ -93,9 +93,13 @@ TEST(Chaos, OffloadFaultScheduleIsSeedDeterministic) {
   fc.dma_result = {.drop = 0.2, .corrupt = 0.2};
 
   Injector a(fc);
-  const Matrix<double> ca = offload_run(96, 96, 24, chaos_offload_config(&a));
+  FunctionalOffloadConfig cfg_a = chaos_offload_config(&a);
+  cfg_a.host_steals = false;  // every tile crosses the faulted queues
+  const Matrix<double> ca = offload_run(96, 96, 24, cfg_a);
   Injector b(fc);
-  const Matrix<double> cb = offload_run(96, 96, 24, chaos_offload_config(&b));
+  FunctionalOffloadConfig cfg_b = chaos_offload_config(&b);
+  cfg_b.host_steals = false;
+  const Matrix<double> cb = offload_run(96, 96, 24, cfg_b);
 
   EXPECT_GT(a.fired(), 0u);
   for (const FaultEvent& ev : a.events()) {
