@@ -1,0 +1,185 @@
+// Solve-server traffic bench: drives src/serve with the deterministic
+// synthetic client over the three job mixes (uniform, repeat-RHS-heavy,
+// bursty) and reports p50/p99 latency and throughput per mix — the payoff
+// artifact of the serving subsystem (BENCH_serve.json).
+//
+// The repeat-RHS mix runs twice, cache-on and cache-off, so the artifact
+// carries a *measured* factorization-cache speedup (wall p50 service time,
+// same trace, same decisions — the cache never changes scheduling, only the
+// worker's wall clock). The binary fails if the cache-on run answers with
+// different bits than the cache-off run, or if a repeat-heavy run gets no
+// hits: the determinism contract and the cache are both load-bearing.
+//
+// Flags:
+//   --jobs N     jobs per mix                      [default 96]
+//   --workers N  worker ranks                      [default 2]
+//   --seed N     traffic seed                      [default 1]
+//   --out PATH   JSON artifact                     [BENCH_serve.json]
+//   --smoke      tiny traffic (the ctest gate)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "json_out.h"
+#include "serve/job.h"
+#include "serve/server.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace xphi;
+
+struct Options {
+  std::size_t jobs = 96;
+  int workers = 2;
+  std::uint64_t seed = 1;
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--jobs") {
+      o.jobs = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--workers") {
+      o.workers = std::atoi(next());
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--out") {
+      o.out = next();
+    } else if (a == "--smoke") {
+      o.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--jobs N] [--workers N] [--seed N] "
+                   "[--out PATH] [--smoke]\n");
+      std::exit(a == "--help" ? 0 : 2);
+    }
+  }
+  if (o.jobs < 4) o.jobs = 4;
+  if (o.workers < 1) o.workers = 1;
+  if (o.smoke && o.jobs > 24) o.jobs = 24;
+  return o;
+}
+
+serve::TrafficConfig traffic_for(serve::Mix mix, const Options& opt) {
+  serve::TrafficConfig t;
+  t.mix = mix;
+  t.jobs = opt.jobs;
+  t.seed = opt.seed;
+  t.sizes = opt.smoke ? std::vector<std::size_t>{32, 48}
+                      : std::vector<std::size_t>{64, 96, 128};
+  return t;
+}
+
+struct MixRow {
+  std::string label;
+  serve::ServeReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  serve::ServeConfig cfg;
+  cfg.workers = opt.workers;
+
+  std::vector<MixRow> rows;
+  serve::ServeReport repeat_cold;  // cache-off twin of the repeat mix
+
+  for (const serve::Mix mix :
+       {serve::Mix::kUniform, serve::Mix::kRepeatRhs, serve::Mix::kBursty}) {
+    const auto trace = serve::generate_trace(traffic_for(mix, opt));
+    rows.push_back({serve::mix_name(mix), serve::run_server(trace, cfg)});
+    if (mix == serve::Mix::kRepeatRhs) {
+      serve::ServeConfig cold = cfg;
+      cold.use_cache = false;
+      repeat_cold = serve::run_server(trace, cold);
+    }
+  }
+
+  const serve::ServeReport& repeat_warm = rows[1].report;
+
+  // Gate 1: the cache must never change a bit of any answer.
+  if (repeat_warm.jobs.size() != repeat_cold.jobs.size()) {
+    std::fprintf(stderr, "BUG: cache-on/off job counts differ\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < repeat_warm.jobs.size(); ++i) {
+    if (repeat_warm.jobs[i].x != repeat_cold.jobs[i].x) {
+      std::fprintf(stderr, "BUG: cache changed the bits of job %zu\n", i);
+      return 1;
+    }
+  }
+  // Gate 2: a repeat-heavy mix with a warm cache must actually hit.
+  if (repeat_warm.cache_hits == 0) {
+    std::fprintf(stderr, "BUG: repeat-RHS mix produced no cache hits\n");
+    return 1;
+  }
+
+  const double cold_p50 = repeat_cold.p50_wall_service_s;
+  const double warm_p50 = repeat_warm.p50_wall_service_s;
+  const double cache_speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0;
+
+  util::Table table({"mix", "jobs", "rejected", "batches", "hits",
+                     "p50 vlat ms", "p99 vlat ms", "p50 wall us",
+                     "p99 wall us", "jobs/s"});
+  std::vector<bench::JsonRecord> records;
+  auto add = [&](const std::string& label, const serve::ServeReport& r,
+                 bool cache_on) {
+    table.add_row(
+        {label, util::Table::fmt(r.completed), util::Table::fmt(r.rejected),
+         util::Table::fmt(r.batches), util::Table::fmt(r.cache_hits),
+         util::Table::fmt(r.p50_virtual_latency_s * 1e3, 3),
+         util::Table::fmt(r.p99_virtual_latency_s * 1e3, 3),
+         util::Table::fmt(r.p50_wall_service_s * 1e6, 1),
+         util::Table::fmt(r.p99_wall_service_s * 1e6, 1),
+         util::Table::fmt(r.throughput_jobs_per_s, 0)});
+    records.push_back(
+        bench::JsonRecord{}
+            .str("mix", label)
+            .num("workers", opt.workers)
+            .num("cache", cache_on ? 1 : 0)
+            .num("jobs", static_cast<double>(r.completed + r.rejected))
+            .num("completed", static_cast<double>(r.completed))
+            .num("rejected", static_cast<double>(r.rejected))
+            .num("batches", static_cast<double>(r.batches))
+            .num("cache_hits", static_cast<double>(r.cache_hits))
+            .num("cache_misses", static_cast<double>(r.cache_misses))
+            .num("soft_cap_breaches", static_cast<double>(r.soft_cap_breaches))
+            .num("p50_virtual_latency_ms", r.p50_virtual_latency_s * 1e3)
+            .num("p99_virtual_latency_ms", r.p99_virtual_latency_s * 1e3)
+            .num("p50_wall_service_us", r.p50_wall_service_s * 1e6)
+            .num("p99_wall_service_us", r.p99_wall_service_s * 1e6)
+            .num("throughput_jobs_per_s", r.throughput_jobs_per_s));
+  };
+  for (const MixRow& row : rows) add(row.label, row.report, true);
+  add("repeat_rhs_cache_off", repeat_cold, false);
+  records.push_back(bench::JsonRecord{}
+                        .str("mix", "repeat_rhs_cache_speedup")
+                        .num("cold_p50_wall_service_us", cold_p50 * 1e6)
+                        .num("warm_p50_wall_service_us", warm_p50 * 1e6)
+                        .num("speedup", cache_speedup));
+
+  std::printf("Solve server: %zu jobs/mix, %d workers, seed %llu%s\n\n",
+              opt.jobs, opt.workers,
+              static_cast<unsigned long long>(opt.seed),
+              opt.smoke ? " (smoke)" : "");
+  table.print("serve_mixes.csv");
+  std::printf(
+      "\nLU-cache payoff on the repeat-RHS mix: p50 wall service "
+      "%.1f us cold -> %.1f us warm (%.2fx, %zu hits / %zu batches).\n",
+      cold_p50 * 1e6, warm_p50 * 1e6, cache_speedup, repeat_warm.cache_hits,
+      repeat_warm.batches);
+
+  if (bench::write_json(opt.out, "serve", records))
+    std::printf("Wrote %s.\n", opt.out.c_str());
+  else
+    std::fprintf(stderr, "warning: could not write %s\n", opt.out.c_str());
+  return 0;
+}

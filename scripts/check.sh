@@ -35,16 +35,22 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L panel
 echo "== ctest -L microkernel =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L microkernel
 
+echo "== ctest -L serve =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L serve
+
 # The registry's bitwise-determinism contract is cross-preset: the same
 # sources built with -march=native and with the x86-64 baseline must
 # dispatch correctly and agree with gemm_ref bit for bit. Build the
-# microkernel suite under both presets and run it in each.
+# microkernel suite under both presets and run it in each. The serve suite
+# rides along: its responses and decision hashes must also be preset-blind
+# (the dispatcher's virtual time never sees the ISA).
 for arch in native sse2; do
-  echo "== ctest -L microkernel (XPHI_ARCH=$arch) =="
+  echo "== ctest -L microkernel + serve (XPHI_ARCH=$arch) =="
   ARCH_DIR="${BUILD_DIR}-${arch}"
   cmake -B "$ARCH_DIR" -S . -DXPHI_ARCH="$arch" >/dev/null
-  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel
+  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel test_serve bench_serve
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L microkernel
+  ctest --test-dir "$ARCH_DIR" --output-on-failure -L serve
 done
 
 echo "== ThreadSanitizer =="

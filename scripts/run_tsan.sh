@@ -5,10 +5,11 @@
 # and the pack cache, the pooled tiled GEMM, the panel critical-path kernels
 # (pool-parallel iamax, fused LASWP, blocked TRSM), the DAG LU executor, the
 # net::World messaging layer (nonblocking requests + collectives), the
-# distributed HPL look-ahead schedules built on it, and the fault-injection
+# distributed HPL look-ahead schedules built on it, the fault-injection
 # chaos harness (retry/NACK/absorption races in the offload reliability
-# protocol) — the code paths where a scheduling bug would be a data race
-# rather than a wrong number.
+# protocol), and the solve server (dispatcher vs concurrent workers, the
+# sharded LU cache under mixed traffic) — the code paths where a scheduling
+# bug would be a data race rather than a wrong number.
 # CI-runnable: exits non-zero on any race report or test failure.
 set -euo pipefail
 
@@ -18,7 +19,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_hpl test_fault test_tune
+  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_hpl test_fault test_tune test_serve
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
@@ -35,5 +36,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Tuned knobs feed the threaded offload engine and the DAG LU executor: the
 # consumer-integration tests re-run those engines with DB-supplied knobs.
 "$BUILD_DIR/tests/test_tune" --gtest_filter='Consumers.*'
+# Solve server: real worker threads against the virtual-time dispatcher,
+# cache races under mixed traffic, chaos delays on the transport.
+"$BUILD_DIR/tests/test_serve" --gtest_filter='Server.*:ShardedLuCacheTest.*:ServeChaos.*'
 
 echo "TSan: all monitored suites clean."

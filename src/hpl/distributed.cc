@@ -427,12 +427,43 @@ struct USlot {
   Request req;
 };
 
+/// Owner-row half of a pipelined U start: solves L11 * U = A12 for the
+/// slot's columns and isends the result down the process column.
+void owner_solve_and_send_u(RankContext& ctx, std::size_t bk, int subset,
+                            std::size_t k0, std::size_t pw,
+                            const double* panel_data, USlot& slot) {
+  const BlockCyclic& dist = *ctx.dist;
+  Comm& comm = *ctx.comm;
+  const Grid& grid = dist.grid();
+  const int tag = static_cast<int>(bk) * kTagStride + kTagUBcast + subset;
+  const std::size_t lr0 = dist.local_row(k0);
+  const double t0 = ctx.now();
+  Matrix<double> u(pw, slot.width);
+  for (std::size_t r = 0; r < pw; ++r)
+    for (std::size_t c = 0; c < slot.width; ++c)
+      u(r, c) = ctx.local(lr0 + r, slot.lc0 + c);
+  MatrixView<const double> l11(panel_data, pw, pw, pw);
+  blas::trsm_left_lower_unit<double>(l11, u.view());
+  for (std::size_t r = 0; r < pw; ++r)
+    for (std::size_t c = 0; c < slot.width; ++c)
+      ctx.local(lr0 + r, slot.lc0 + c) = u(r, c);
+  ctx.record(SpanKind::kTrsm, t0);
+  slot.u.assign(u.data(), u.data() + pw * slot.width);
+  const double t1 = ctx.now();
+  for (int prow = 0; prow < grid.p; ++prow)
+    if (prow != ctx.prow) comm.isend(grid.rank_of(prow, ctx.pcol), tag, slot.u);
+  ctx.record(SpanKind::kBroadcast, t1);
+}
+
 /// Pipelined U start for one column subset: the owner row solves
 /// L11 * U = A12 for the subset's columns and isends the result down its
-/// process column; other rows post an irecv. No-op when the subset has no
-/// local columns (consistent across the process column).
+/// process column (unless `defer_solve` — then owner_solve_and_send_u must
+/// be called later, letting the wide solve slide off the critical path);
+/// other rows post an irecv. No-op when the subset has no local columns
+/// (consistent across the process column).
 USlot start_u(RankContext& ctx, std::size_t bk, int subset, std::size_t k0,
-              std::size_t pw, const double* panel_data, ColSpan cols) {
+              std::size_t pw, const double* panel_data, ColSpan cols,
+              bool defer_solve = false) {
   const BlockCyclic& dist = *ctx.dist;
   Comm& comm = *ctx.comm;
   const Grid& grid = dist.grid();
@@ -445,23 +476,8 @@ USlot start_u(RankContext& ctx, std::size_t bk, int subset, std::size_t k0,
   slot.owner = ctx.prow == pr;
   if (slot.width == 0) return slot;
   if (slot.owner) {
-    const std::size_t lr0 = dist.local_row(k0);
-    const double t0 = ctx.now();
-    Matrix<double> u(pw, slot.width);
-    for (std::size_t r = 0; r < pw; ++r)
-      for (std::size_t c = 0; c < slot.width; ++c)
-        u(r, c) = ctx.local(lr0 + r, slot.lc0 + c);
-    MatrixView<const double> l11(panel_data, pw, pw, pw);
-    blas::trsm_left_lower_unit<double>(l11, u.view());
-    for (std::size_t r = 0; r < pw; ++r)
-      for (std::size_t c = 0; c < slot.width; ++c)
-        ctx.local(lr0 + r, slot.lc0 + c) = u(r, c);
-    ctx.record(SpanKind::kTrsm, t0);
-    slot.u.assign(u.data(), u.data() + pw * slot.width);
-    const double t1 = ctx.now();
-    for (int prow = 0; prow < grid.p; ++prow)
-      if (prow != ctx.prow) comm.isend(grid.rank_of(prow, ctx.pcol), tag, slot.u);
-    ctx.record(SpanKind::kBroadcast, t1);
+    if (!defer_solve) owner_solve_and_send_u(ctx, bk, subset, k0, pw,
+                                             panel_data, slot);
   } else {
     slot.req = comm.irecv(grid.rank_of(pr, ctx.pcol), tag);
   }
@@ -657,24 +673,38 @@ Payload run_stage_lookahead(RankContext& ctx, std::size_t bk, Payload packet,
     for (std::size_t s = 1; s < subsets.size(); ++s)
       update_range(ctx, pw, l21, lr_trail, m_loc, u, subsets[s]);
   } else {
-    // Pipelined: subset s+1's swap and U solve/broadcast are in flight
-    // while subset s's update computes; the first swap also carries the
-    // factored left columns.
+    // Pipelined: subset 0's U (just the next panel's columns) is solved and
+    // sent first so its update — and the look-ahead panel launch — start as
+    // early as possible. The remaining subsets travel as ONE coalesced
+    // message per process row (the "subset batch"), and the owner row defers
+    // the batch's wide DTRSM until after the panel launch, hiding it under
+    // the next panel's gather/factor on the other process row, then consumes
+    // it subset by subset. Earlier revisions swapped and broadcast every
+    // subset separately, which tripled the per-stage message count and cost
+    // the scheme its overlap win (see the BENCH_hpl.json history); the row
+    // swap now rides a single exchange per rank pair covering all subsets at
+    // once, which is permutation-identical. Deferring the batch solve is
+    // bitwise-neutral too: the U rows it reads are disjoint (in both rows
+    // and columns) from everything subset 0's update and the panel pack
+    // touch.
     const std::size_t S = subsets.size();
-    std::vector<USlot> slots(S);
     swap_rows_ranges(ctx, stage_tag + kTagSwap, ipiv_stage, k0, pw,
-                     {{0, k0}, subsets[0]});
-    slots[0] = start_u(ctx, bk, 0, k0, pw, panel_data, subsets[0]);
-    for (std::size_t s = 0; s < S; ++s) {
-      if (s + 1 < S) {
-        swap_rows_ranges(ctx, stage_tag + kTagSwap + static_cast<int>(s + 1),
-                         ipiv_stage, k0, pw, {subsets[s + 1]});
-        slots[s + 1] = start_u(ctx, bk, static_cast<int>(s + 1), k0, pw,
-                               panel_data, subsets[s + 1]);
-      }
-      wait_u(ctx, slots[s]);
-      update_range(ctx, pw, l21, lr_trail, m_loc, slots[s], subsets[s]);
-      if (s == 0) launch = start_panel(ctx, bk + 1);
+                     {{0, k0}, {trail_g0, n}});
+    USlot first = start_u(ctx, bk, 0, k0, pw, panel_data, subsets[0]);
+    USlot batch;
+    if (S > 1)
+      batch = start_u(ctx, bk, 1, k0, pw, panel_data,
+                      {subsets[1].g0, subsets[S - 1].g1},
+                      /*defer_solve=*/true);
+    wait_u(ctx, first);
+    update_range(ctx, pw, l21, lr_trail, m_loc, first, subsets[0]);
+    launch = start_panel(ctx, bk + 1);
+    if (S > 1) {
+      if (batch.owner && batch.width > 0)
+        owner_solve_and_send_u(ctx, bk, 1, k0, pw, panel_data, batch);
+      wait_u(ctx, batch);
+      for (std::size_t s = 1; s < S; ++s)
+        update_range(ctx, pw, l21, lr_trail, m_loc, batch, subsets[s]);
     }
   }
   return finish_panel(ctx, std::move(launch));

@@ -17,10 +17,14 @@
 //                updated, so the factorization overlaps the bulk of the
 //                trailing update; the packet is collected via irecv at the
 //                next stage (Figure 8b).
-//   kPipelined — row swap, DTRSM and U broadcast are additionally streamed
-//                over column subsets: subset s+1's swap and U solve are in
-//                flight while subset s's trailing update computes, and the
-//                update consumes subsets as they land (Figure 8c).
+//   kPipelined — DTRSM and U broadcast are additionally streamed over
+//                column subsets: subset 0 (the next panel's columns) is
+//                solved and sent first so its update and the look-ahead
+//                panel start early, while the remaining subsets are solved
+//                and broadcast as one coalesced message per process row
+//                that travels under subset 0's compute and is consumed
+//                subset by subset (Figure 8c). The row swap is a single
+//                exchange covering every subset at once.
 // All three produce bitwise-identical pivots and factors: the subset split
 // changes no per-element accumulation order anywhere (see gemm_tiled.h).
 //

@@ -1,0 +1,129 @@
+#include "serve/job.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace xphi::serve {
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::kInteractive: return "interactive";
+    case Lane::kBatch: return "batch";
+  }
+  return "?";
+}
+
+const char* mix_name(Mix mix) {
+  switch (mix) {
+    case Mix::kUniform: return "uniform";
+    case Mix::kRepeatRhs: return "repeat_rhs";
+    case Mix::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exponential draw with the given mean (inverse-CDF over a uniform in
+/// (0, 1]; the +2^-64 shift keeps log() away from 0).
+double exp_us(util::Rng& rng, double mean_us) {
+  const double u =
+      (static_cast<double>(rng.next_u64() >> 11) + 1.0) * 0x1.0p-53;
+  return -mean_us * std::log(u);
+}
+
+}  // namespace
+
+std::vector<Job> generate_trace(const TrafficConfig& config) {
+  std::vector<Job> trace;
+  trace.reserve(config.jobs);
+  util::Rng rng(config.seed ^ 0x5e24e5ull);
+  double repeat = config.repeat_fraction;
+  if (repeat < 0) {
+    switch (config.mix) {
+      case Mix::kUniform: repeat = 0.15; break;
+      case Mix::kRepeatRhs: repeat = 0.85; break;
+      case Mix::kBursty: repeat = 0.30; break;
+    }
+  }
+  const int tenants = config.tenants > 0 ? config.tenants : 1;
+  const int hot = config.hot_matrices > 0 ? config.hot_matrices : 1;
+  double t = 0;
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    // Arrival process.
+    if (i > 0) {
+      if (config.mix == Mix::kBursty) {
+        const int len = config.burst_len > 0 ? config.burst_len : 1;
+        const bool new_burst = i % static_cast<std::size_t>(len) == 0;
+        t += (new_burst ? config.burst_gap_us : config.burst_spacing_us) * 1e-6;
+      } else {
+        t += exp_us(rng, config.mean_interarrival_us) * 1e-6;
+      }
+    }
+    Job job;
+    job.id = i;
+    job.tenant = static_cast<int>(rng.next_u64() % tenants);
+    job.lane = rng.next_in(0, 1) < config.interactive_fraction
+                   ? Lane::kInteractive
+                   : Lane::kBatch;
+    job.arrival_s = t;
+    job.n = config.sizes.empty()
+                ? 64
+                : config.sizes[rng.next_u64() % config.sizes.size()];
+    // Hot matrices are shared across tenants (a common base model, say);
+    // cold jobs get a unique matrix so they can never hit the cache.
+    const bool hot_job = rng.next_in(0, 1) < repeat;
+    job.matrix_seed = hot_job
+                          ? config.seed * 1000003ull + rng.next_u64() % hot
+                          : config.seed * 1000003ull + 1000ull + i;
+    job.rhs_seed = config.seed ^ (0x9E3779B97F4A7C15ull * (i + 1));
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+std::string trace_to_text(const std::vector<Job>& trace) {
+  std::ostringstream out;
+  out << "xphi-trace v1 " << trace.size() << "\n";
+  char buf[64];
+  for (const Job& j : trace) {
+    std::snprintf(buf, sizeof buf, "%a", j.arrival_s);
+    out << j.id << ' ' << j.tenant << ' ' << static_cast<int>(j.lane) << ' '
+        << buf << ' ' << j.n << ' ' << j.matrix_seed << ' ' << j.rhs_seed
+        << '\n';
+  }
+  return out.str();
+}
+
+bool trace_from_text(const std::string& text, std::vector<Job>* out) {
+  std::istringstream in(text);
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> count) || magic != "xphi-trace" ||
+      version != "v1")
+    return false;
+  std::vector<Job> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Job j;
+    int lane = 0;
+    std::string arrival;
+    if (!(in >> j.id >> j.tenant >> lane >> arrival >> j.n >> j.matrix_seed >>
+          j.rhs_seed))
+      return false;
+    if (lane < 0 || lane >= kLaneCount) return false;
+    j.lane = static_cast<Lane>(lane);
+    char* end = nullptr;
+    j.arrival_s = std::strtod(arrival.c_str(), &end);
+    if (end == arrival.c_str() || *end != '\0') return false;
+    trace.push_back(j);
+  }
+  *out = std::move(trace);
+  return true;
+}
+
+}  // namespace xphi::serve

@@ -1,0 +1,89 @@
+// Job model and synthetic traffic for the multi-tenant solve server.
+//
+// A Job is one tenant request: "solve A x = b" where A is the seeded HPL
+// matrix of order n (util::hpl_entry, so any worker can regenerate it
+// bit-exactly from (matrix_seed, n)) and b is a seeded right-hand side.
+// Tenants submit on two priority lanes — interactive (latency-sensitive,
+// dispatched singly) and batch (throughput, coalescible) — and jobs that
+// share (n, matrix_seed) are *compatible*: one factorization serves all of
+// their solves, which is what the server's batching and the sharded LU
+// cache exploit.
+//
+// Traffic is open-loop and fully deterministic: generate_trace() derives
+// every arrival time, tenant, lane, size and seed from TrafficConfig alone
+// (splitmix64 streams), so a trace is a value — it can be replayed, diffed,
+// or serialized (trace_to_text / trace_from_text) and the server's
+// scheduling decisions over it are reproducible bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xphi::serve {
+
+/// Priority lanes. Interactive jobs preempt batch work up to the configured
+/// weight; batch jobs are protected from starvation by an age bound.
+enum class Lane : int { kInteractive = 0, kBatch = 1 };
+inline constexpr int kLaneCount = 2;
+
+const char* lane_name(Lane lane);
+
+struct Job {
+  std::uint64_t id = 0;           // unique, trace order
+  int tenant = 0;
+  Lane lane = Lane::kInteractive;
+  double arrival_s = 0;           // open-loop virtual arrival time
+  std::size_t n = 0;              // matrix order
+  std::uint64_t matrix_seed = 0;  // util::hpl_entry seed of A
+  std::uint64_t rhs_seed = 0;     // seed of b (always fresh per job)
+};
+
+/// The three canonical traffic mixes BENCH_serve.json reports:
+///   kUniform    — mostly-unique matrices, balanced lanes;
+///   kRepeatRhs  — most jobs re-solve one of a few hot matrices with fresh
+///                 right-hand sides (the LU-cache showcase);
+///   kBursty     — arrivals come in tight bursts separated by idle gaps
+///                 (the admission-control / backpressure showcase).
+enum class Mix : int { kUniform = 0, kRepeatRhs = 1, kBursty = 2 };
+
+const char* mix_name(Mix mix);
+
+struct TrafficConfig {
+  Mix mix = Mix::kUniform;
+  std::size_t jobs = 64;
+  int tenants = 3;
+  std::uint64_t seed = 1;
+  /// Mean of the exponential inter-arrival draw (uniform/repeat mixes).
+  double mean_interarrival_us = 300;
+  /// Matrix orders drawn uniformly per job.
+  std::vector<std::size_t> sizes = {64, 96, 128};
+  /// P(job is interactive); the rest go to the batch lane.
+  double interactive_fraction = 0.5;
+  /// P(job re-solves a hot matrix) — mix defaults below override this when
+  /// the field is left negative.
+  double repeat_fraction = -1;
+  /// Number of distinct hot matrices the repeat stream cycles over.
+  int hot_matrices = 4;
+  /// Bursty mix: jobs per burst and the idle gap between bursts.
+  int burst_len = 8;
+  double burst_gap_us = 4000;
+  /// Intra-burst spacing (bursty mix).
+  double burst_spacing_us = 20;
+};
+
+/// Deterministic open-loop trace: same config, same trace, bit for bit.
+/// Arrival times are non-decreasing and ids are 0..jobs-1 in arrival order.
+std::vector<Job> generate_trace(const TrafficConfig& config);
+
+/// One-line-per-job text form for record/replay:
+///   id tenant lane arrival_s n matrix_seed rhs_seed
+/// Round-trips exactly (arrival times are printed as hex doubles).
+std::string trace_to_text(const std::vector<Job>& trace);
+
+/// Parses trace_to_text output. Returns false (leaving *out untouched) on
+/// any malformed line.
+bool trace_from_text(const std::string& text, std::vector<Job>* out);
+
+}  // namespace xphi::serve

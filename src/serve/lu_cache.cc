@@ -1,0 +1,105 @@
+#include "serve/lu_cache.h"
+
+#include <cstring>
+
+namespace xphi::serve {
+
+std::uint64_t content_hash_doubles(const double* data, std::size_t count) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &data[i], sizeof bits);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffull;
+      h *= 0x100000001b3ull;  // FNV prime
+    }
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t fnv1a_str(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedLuCache::ShardedLuCache(std::size_t shards, std::size_t capacity) {
+  if (shards == 0) shards = 1;
+  if (capacity == 0) capacity = 1;
+  shard_capacity_ = (capacity + shards - 1) / shards;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t ShardedLuCache::shard_of(const CacheKey& key) const {
+  return fnv1a_str(key.flat()) % shards_.size();
+}
+
+std::shared_ptr<const Factorization> ShardedLuCache::find(const CacheKey& key) {
+  Shard& shard = *shards_[shard_of(key)];
+  const std::string flat = key.flat();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(flat);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  // Refresh: move to the front of the LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  return it->second->second;
+}
+
+void ShardedLuCache::insert(const CacheKey& key,
+                            std::shared_ptr<const Factorization> value) {
+  Shard& shard = *shards_[shard_of(key)];
+  std::string flat = key.flat();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(flat);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.insertions;
+    return;
+  }
+  if (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  shard.lru.emplace_front(std::move(flat), std::move(value));
+  shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+  ++shard.stats.insertions;
+}
+
+ShardedLuCache::Stats ShardedLuCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+std::size_t ShardedLuCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace xphi::serve

@@ -1,0 +1,101 @@
+// Sharded, LRU-bounded factorization cache for the solve server.
+//
+// Repeat-RHS traffic re-solves the same matrix with fresh right-hand sides;
+// the dominant cost (the O(n^3) LU) is identical every time, so workers
+// share one process-level cache of finished factorizations. Entries are
+// keyed the way TuningDB keys tuned knobs — machine fingerprint, shape
+// bucket, plus a content hash of the actual matrix — so a key can never
+// alias across machines, across size bands, or across matrices that merely
+// share a seed convention.
+//
+// The cache is sharded: the key hash picks a shard, each shard is an
+// independently-locked LRU map, so concurrent workers rarely contend on the
+// same mutex. Values are shared_ptr<const Factorization>: a hit hands back
+// the exact bits the first solver produced (factorizations are
+// deterministic, so hit or miss the response is bitwise identical — which
+// is why cache state is allowed to race under concurrency while the
+// server's scheduling stays deterministic).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace xphi::serve {
+
+/// TuningDB-style cache key: (machine fingerprint, ShapeBucket::key(),
+/// content hash of the matrix bytes).
+struct CacheKey {
+  std::string machine;
+  std::string bucket;
+  std::uint64_t content_hash = 0;
+
+  bool operator==(const CacheKey&) const = default;
+  /// Flat string form used for hashing and shard selection.
+  std::string flat() const {
+    return machine + "|" + bucket + "|" + std::to_string(content_hash);
+  }
+};
+
+/// FNV-1a over the raw bytes of a double buffer — the content-hash half of
+/// a CacheKey (bit-exact: two matrices hash equal iff their bits are equal).
+std::uint64_t content_hash_doubles(const double* data, std::size_t count);
+
+/// One cached LU: factors in place (L\U) plus the absolute pivot vector.
+struct Factorization {
+  util::Matrix<double> lu;
+  std::vector<std::size_t> ipiv;
+};
+
+class ShardedLuCache {
+ public:
+  /// `capacity` bounds the total entry count; it is split evenly across
+  /// `shards` independently-locked LRU maps (each shard gets at least one
+  /// slot). shards/capacity are clamped to >= 1.
+  ShardedLuCache(std::size_t shards, std::size_t capacity);
+
+  ShardedLuCache(const ShardedLuCache&) = delete;
+  ShardedLuCache& operator=(const ShardedLuCache&) = delete;
+
+  /// Looks up `key`, refreshing its LRU position. Null on miss.
+  std::shared_ptr<const Factorization> find(const CacheKey& key);
+
+  /// Inserts (or replaces) `key`, evicting the shard's least-recently-used
+  /// entry when the shard is full.
+  void insert(const CacheKey& key, std::shared_ptr<const Factorization> value);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+  };
+  /// Aggregated over shards (consistent snapshot per shard).
+  Stats stats() const;
+
+  std::size_t size() const;
+  std::size_t shards() const noexcept { return shards_.size(); }
+  std::size_t shard_of(const CacheKey& key) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // LRU list, most recent first; map points into the list.
+    std::list<std::pair<std::string, std::shared_ptr<const Factorization>>>
+        lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    Stats stats;
+  };
+
+  std::size_t shard_capacity_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace xphi::serve

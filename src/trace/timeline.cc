@@ -118,6 +118,23 @@ double cross_lane_overlap(const Timeline& timeline, SpanKind a, SpanKind b) {
   return total;
 }
 
+std::string timeline_to_json(const Timeline& timeline) {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\"schema\": \"xphi-timeline\", \"end\": " << timeline.end_time()
+      << ", \"lanes\": " << timeline.lanes() << ", \"spans\": [";
+  bool first = true;
+  for (const Span& s : timeline.spans()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"lane\": " << s.lane << ", \"kind\": \""
+        << span_kind_name(s.kind) << "\", \"t0\": " << s.t0
+        << ", \"t1\": " << s.t1 << "}";
+  }
+  out << (first ? "]}\n" : "\n]}\n");
+  return out.str();
+}
+
 std::string timeline_to_csv(const Timeline& timeline) {
   std::ostringstream out;
   out << "lane,kind,t0,t1\n";

@@ -81,6 +81,12 @@ std::string render_gantt(const Timeline& timeline, std::size_t width = 100);
 /// Serializes the spans as CSV (lane,kind,t0,t1) for external plotting.
 std::string timeline_to_csv(const Timeline& timeline);
 
+/// Serializes the timeline as JSON — the machine-readable format shared by
+/// the HPL timeline benches and the serve layer's per-tenant roll-ups:
+///   {"schema": "xphi-timeline", "end": <s>, "lanes": N,
+///    "spans": [{"lane": 0, "kind": "DGEMM", "t0": ..., "t1": ...}, ...]}
+std::string timeline_to_json(const Timeline& timeline);
+
 /// Total pairwise overlap seconds between spans of kind `a` and spans of
 /// kind `b` on *different* lanes — the "communication hidden under compute"
 /// measure for the pipelined look-ahead (e.g. a > 0 overlap of kBroadcast

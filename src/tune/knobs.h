@@ -54,6 +54,14 @@ struct Knobs {
   int microkernel = 0;      // 0 = auto-dispatch (widest supported)
   std::size_t gemm_mc = 0;  // 0 = unbounded
   std::size_t gemm_nc = 0;  // 0 = unbounded
+  // Solve-server scheduling knobs (serve::ServeConfig::apply): batch-lane
+  // coalescing window (microseconds), LU-cache geometry, interactive lane
+  // weight and the per-lane admission bound.
+  std::size_t serve_batch_window_us = 0;  // 0 = server default (200)
+  std::size_t serve_cache_shards = 0;     // 0 = server default (4)
+  std::size_t serve_cache_capacity = 0;   // 0 = server default (32)
+  int serve_lane_weight = 0;              // 0 = server default (4)
+  std::size_t serve_admission_queue = 0;  // 0 = server default (64)
 };
 
 /// Name/value pairs, one per *set* field — the encoded form a TuningDB entry
@@ -86,6 +94,20 @@ inline std::vector<std::pair<std::string, long long>> values_from_knobs(
     v.emplace_back("gemm_mc", static_cast<long long>(k.gemm_mc));
   if (k.gemm_nc != 0)
     v.emplace_back("gemm_nc", static_cast<long long>(k.gemm_nc));
+  if (k.serve_batch_window_us != 0)
+    v.emplace_back("serve_batch_window",
+                   static_cast<long long>(k.serve_batch_window_us));
+  if (k.serve_cache_shards != 0)
+    v.emplace_back("serve_cache_shards",
+                   static_cast<long long>(k.serve_cache_shards));
+  if (k.serve_cache_capacity != 0)
+    v.emplace_back("serve_cache_capacity",
+                   static_cast<long long>(k.serve_cache_capacity));
+  if (k.serve_lane_weight != 0)
+    v.emplace_back("serve_lane_weight", k.serve_lane_weight);
+  if (k.serve_admission_queue != 0)
+    v.emplace_back("serve_admission_queue",
+                   static_cast<long long>(k.serve_admission_queue));
   return v;
 }
 
@@ -125,6 +147,16 @@ inline Knobs knobs_from_values(
       k.gemm_mc = static_cast<std::size_t>(v);
     } else if (name == "gemm_nc") {
       k.gemm_nc = static_cast<std::size_t>(v);
+    } else if (name == "serve_batch_window") {
+      k.serve_batch_window_us = static_cast<std::size_t>(v);
+    } else if (name == "serve_cache_shards") {
+      k.serve_cache_shards = static_cast<std::size_t>(v);
+    } else if (name == "serve_cache_capacity") {
+      k.serve_cache_capacity = static_cast<std::size_t>(v);
+    } else if (name == "serve_lane_weight") {
+      k.serve_lane_weight = static_cast<int>(v);
+    } else if (name == "serve_admission_queue") {
+      k.serve_admission_queue = static_cast<std::size_t>(v);
     }
     // Unknown knob names: skip.
   }

@@ -132,6 +132,16 @@ SearchSpace microkernel() {
   return s;
 }
 
+SearchSpace serve() {
+  SearchSpace s;
+  s.add("serve_batch_window", {50, 100, 200, 400, 800}, 200);
+  s.add("serve_cache_shards", {1, 2, 4, 8}, 4);
+  s.add("serve_cache_capacity", {8, 16, 32, 64, 128}, 32);
+  s.add("serve_lane_weight", {1, 2, 4, 8}, 4);
+  s.add("serve_admission_queue", {16, 32, 64, 128, 256}, 64);
+  return s;
+}
+
 std::vector<std::size_t> microkernel_seed(const SearchSpace& space) {
   const auto sel = blas::mk::select_kernel<double>(0);
   const auto& cpu = blas::mk::host_cpu_features();

@@ -81,6 +81,11 @@ SearchSpace panel();
 /// (0 = unbounded for mc/nc).
 SearchSpace microkernel();
 
+/// Solve-server scheduling: batch coalescing window (us), LU-cache shard
+/// count and total capacity, interactive lane weight, per-lane admission
+/// bound (serve::ServeConfig::apply consumes the tuned record).
+SearchSpace serve();
+
 /// The analytic starting point for spaces::microkernel(): the dispatched
 /// kernel shape and blas/block_model.h's mc/kc/nc for the probed cache
 /// geometry, snapped onto the space's candidate grid. Feed it to

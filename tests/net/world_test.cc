@@ -406,5 +406,105 @@ TEST(World, CommStatsCountTraffic) {
   EXPECT_EQ(s1.messages_sent, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent Worlds: a serve-style process runs several in-process fabrics
+// at once (one per server instance), so the transport must keep soft-cap
+// accounting, stats, and shutdown strictly per-World.
+// ---------------------------------------------------------------------------
+
+TEST(World, SoftCapBackpressureUnderLoad) {
+  // Flood a rank far past a small soft cap from two producers at once:
+  // every message still arrives (the cap is advisory backpressure, never
+  // loss) and the breach counter records the overrun.
+  World w(3);
+  w.set_mailbox_soft_cap(2);
+  std::vector<double> sums(3, 0);
+  w.run([&](Comm& c) {
+    if (c.rank() != 2) {
+      for (int i = 0; i < 40; ++i)
+        c.isend(2, c.rank(), {static_cast<double>(i + 1)});
+    } else {
+      double s = 0;
+      (void)std::this_thread::yield();  // let the queues actually pile up
+      for (int src = 0; src < 2; ++src)
+        for (int i = 0; i < 40; ++i) s += c.recv(src, src)[0];
+      sums[2] = s;
+    }
+  });
+  EXPECT_EQ(sums[2], 2 * (40.0 * 41.0 / 2));  // nothing lost
+  EXPECT_GT(w.stats(2).soft_cap_breaches, 0u);
+  EXPECT_GE(w.mailbox_high_water(2), 3u);  // cap exceeded, only logged
+}
+
+TEST(World, StatsIsolationBetweenSimultaneousWorlds) {
+  // Two Worlds running concurrently on separate driver threads must keep
+  // exact, independent traffic counts — no shared counters, no cross talk.
+  World a(2), b(2);
+  std::thread ta([&] {
+    a.run([](Comm& c) {
+      if (c.rank() == 0)
+        for (int i = 0; i < 3; ++i) c.send(1, 0, {1.0, 2.0});
+      else
+        for (int i = 0; i < 3; ++i) (void)c.recv(0, 0);
+    });
+  });
+  std::thread tb([&] {
+    b.run([](Comm& c) {
+      if (c.rank() == 0)
+        for (int i = 0; i < 5; ++i) c.send(1, 0, {1.0});
+      else
+        for (int i = 0; i < 5; ++i) (void)c.recv(0, 0);
+    });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.stats(0).messages_sent, 3u);
+  EXPECT_EQ(a.stats(0).bytes_sent, 48u);  // 3 messages x 2 doubles
+  EXPECT_EQ(a.stats(1).messages_received, 3u);
+  EXPECT_EQ(b.stats(0).messages_sent, 5u);
+  EXPECT_EQ(b.stats(0).bytes_sent, 40u);  // 5 messages x 1 double
+  EXPECT_EQ(b.stats(1).messages_received, 5u);
+  EXPECT_EQ(a.stats(0).soft_cap_breaches + a.stats(1).soft_cap_breaches, 0u);
+}
+
+TEST(World, ExceptionSafeShutdownWhileSecondWorldServes) {
+  // World A deadlocks (a recv nobody answers) and is torn down through the
+  // timeout diagnostic while World B keeps serving on another thread; B must
+  // complete all its traffic untouched and A must not leak or hang.
+  World broken(2);
+  broken.set_recv_timeout(0.05);
+  World healthy(2);
+  std::atomic<bool> broken_threw{false};
+  double healthy_sum = 0;
+  std::thread tb([&] {
+    healthy.run([&](Comm& c) {
+      if (c.rank() == 0) {
+        for (int i = 0; i < 20; ++i) {
+          c.send(1, 0, {static_cast<double>(i)});
+          // Stretch B's run across A's whole failure window.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      } else {
+        double s = 0;
+        for (int i = 0; i < 20; ++i) s += c.recv(0, 0)[0];
+        healthy_sum = s;
+      }
+    });
+  });
+  try {
+    broken.run([](Comm& c) {
+      if (c.rank() == 1) (void)c.recv(0, 99);  // never sent
+    });
+  } catch (const std::runtime_error&) {
+    broken_threw.store(true);
+  }
+  tb.join();
+  EXPECT_TRUE(broken_threw.load());
+  EXPECT_EQ(healthy_sum, 19.0 * 20.0 / 2);
+  EXPECT_EQ(healthy.stats(0).messages_sent, 20u);
+  // The broken World is destructible and queryable after the throw.
+  EXPECT_EQ(broken.stats(0).messages_sent, 0u);
+}
+
 }  // namespace
 }  // namespace xphi::net

@@ -1,0 +1,133 @@
+// Chaos-under-determinism for the solve server: injected transport faults,
+// a slow link, and a card death mid-factorization must change wall-clock
+// behaviour only — every response stays bitwise identical to the clean run
+// and the dispatcher makes the exact same scheduling decisions (the virtual
+// time they are computed in never sees a fault). Recorded traffic replays
+// through the text codec land on the same bits too.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+#include "serve/job.h"
+#include "serve/server.h"
+
+namespace xphi::serve {
+namespace {
+
+TrafficConfig chaos_traffic() {
+  TrafficConfig cfg;
+  cfg.mix = Mix::kRepeatRhs;
+  cfg.jobs = 32;
+  cfg.sizes = {32, 48};
+  cfg.seed = 23;
+  return cfg;
+}
+
+void expect_identical_responses(const ServeReport& a, const ServeReport& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].rejected, b.jobs[i].rejected);
+    ASSERT_EQ(a.jobs[i].x.size(), b.jobs[i].x.size());
+    for (std::size_t k = 0; k < a.jobs[i].x.size(); ++k)
+      EXPECT_EQ(a.jobs[i].x[k], b.jobs[i].x[k]);  // bitwise
+    EXPECT_EQ(a.jobs[i].virtual_latency_s, b.jobs[i].virtual_latency_s);
+    EXPECT_EQ(a.jobs[i].worker, b.jobs[i].worker);
+    EXPECT_EQ(a.jobs[i].batch_id, b.jobs[i].batch_id);
+  }
+}
+
+void expect_identical_decisions(const ServeReport& a, const ServeReport& b) {
+  EXPECT_EQ(a.decision_hash, b.decision_hash);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i)
+    EXPECT_EQ(a.decisions[i], b.decisions[i]);
+}
+
+TEST(ServeChaos, NetFaultsAndSlowLinkChangeNothingObservable) {
+  const auto trace = generate_trace(chaos_traffic());
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport clean = run_server(trace, cfg);
+
+  fault::InjectorConfig fc;
+  fc.seed = 5;
+  fc.net.delay = 0.3;
+  fc.net.drop = 0.1;  // reliable transport: retransmit penalty, never loss
+  fc.net.delay_us = 300;
+  fc.slow_rank = 1;  // first worker stalls before every send
+  fc.slow_rank_us = 200;
+  fault::Injector injector(fc);
+  ServeConfig faulted_cfg = cfg;
+  faulted_cfg.injector = &injector;
+  const ServeReport faulted = run_server(trace, faulted_cfg);
+
+  EXPECT_GT(injector.fired(), 0u);  // the chaos actually happened
+  expect_identical_decisions(clean, faulted);
+  expect_identical_responses(clean, faulted);
+  EXPECT_EQ(clean.batches, faulted.batches);
+  EXPECT_EQ(clean.rejected, faulted.rejected);
+}
+
+TEST(ServeChaos, DeadCardMidJobIsAbsorbedBitwise) {
+  auto traffic = chaos_traffic();
+  traffic.jobs = 12;
+  traffic.sizes = {64};  // big enough for several offload tiles per update
+  const auto trace = generate_trace(traffic);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.factor_cards = 2;  // factor trailing updates through the offload engine
+  const ServeReport clean = run_server(trace, cfg);
+
+  fault::InjectorConfig fc;
+  fc.seed = 9;
+  fc.dead_card = 1;
+  fc.card_death_after = 1;  // dies mid-factorization, work re-homes
+  fault::Injector injector(fc);
+  ServeConfig faulted_cfg = cfg;
+  faulted_cfg.injector = &injector;
+  const ServeReport faulted = run_server(trace, faulted_cfg);
+
+  expect_identical_decisions(clean, faulted);
+  expect_identical_responses(clean, faulted);
+}
+
+TEST(ServeChaos, QueueFaultDelaysOnDispatchPathKeepDecisionsStable) {
+  const auto trace = generate_trace(chaos_traffic());
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.worker_inflight = 1;  // tight queues: every delay lands on the path
+  const ServeReport clean = run_server(trace, cfg);
+
+  fault::InjectorConfig fc;
+  fc.seed = 13;
+  fc.net.delay = 0.8;  // almost every message late
+  fc.net.delay_us = 500;
+  fault::Injector injector(fc);
+  ServeConfig faulted_cfg = cfg;
+  faulted_cfg.injector = &injector;
+  const ServeReport faulted = run_server(trace, faulted_cfg);
+
+  EXPECT_GT(injector.count(fault::Site::kNetMessage, fault::Action::kDelay),
+            0u);
+  expect_identical_decisions(clean, faulted);
+  expect_identical_responses(clean, faulted);
+  EXPECT_EQ(clean.soft_cap_breaches, faulted.soft_cap_breaches);
+}
+
+TEST(ServeChaos, RecordedTrafficReplaysDeterministically) {
+  const auto trace = generate_trace(chaos_traffic());
+  const std::string recorded = trace_to_text(trace);
+  std::vector<Job> replayed;
+  ASSERT_TRUE(trace_from_text(recorded, &replayed));
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport live = run_server(trace, cfg);
+  const ServeReport replay = run_server(replayed, cfg);
+  expect_identical_decisions(live, replay);
+  expect_identical_responses(live, replay);
+}
+
+}  // namespace
+}  // namespace xphi::serve

@@ -1,0 +1,131 @@
+#include "serve/lu_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace xphi::serve {
+namespace {
+
+std::shared_ptr<const Factorization> make_value(std::size_t n, double fill) {
+  auto f = std::make_shared<Factorization>();
+  f->lu = util::Matrix<double>(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) f->lu(r, c) = fill;
+  f->ipiv.assign(n, 0);
+  return f;
+}
+
+CacheKey key_of(std::uint64_t hash) {
+  return CacheKey{"machineA", "m64_n64_k32", hash};
+}
+
+TEST(ContentHash, BitExactAndSensitive) {
+  const double a[3] = {1.0, 2.0, 3.0};
+  const double b[3] = {1.0, 2.0, 3.0};
+  const double c[3] = {1.0, 2.0, 3.0000000000000004};
+  EXPECT_EQ(content_hash_doubles(a, 3), content_hash_doubles(b, 3));
+  EXPECT_NE(content_hash_doubles(a, 3), content_hash_doubles(c, 3));
+  // +0.0 and -0.0 differ in bits, so they must hash differently.
+  const double p[1] = {0.0}, m[1] = {-0.0};
+  EXPECT_NE(content_hash_doubles(p, 1), content_hash_doubles(m, 1));
+}
+
+TEST(CacheKeyTest, DistinguishesAllComponents) {
+  const CacheKey base{"m1", "b1", 42};
+  EXPECT_EQ(base, (CacheKey{"m1", "b1", 42}));
+  EXPECT_NE(base.flat(), (CacheKey{"m2", "b1", 42}).flat());
+  EXPECT_NE(base.flat(), (CacheKey{"m1", "b2", 42}).flat());
+  EXPECT_NE(base.flat(), (CacheKey{"m1", "b1", 43}).flat());
+}
+
+TEST(ShardedLuCacheTest, MissThenHit) {
+  ShardedLuCache cache(4, 16);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  auto v = make_value(4, 1.5);
+  cache.insert(key_of(1), v);
+  auto got = cache.find(key_of(1));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got.get(), v.get());  // same bits: the same object
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+}
+
+TEST(ShardedLuCacheTest, LruEvictsOldest) {
+  // One shard, two slots: inserting a third evicts the least recently used.
+  ShardedLuCache cache(1, 2);
+  cache.insert(key_of(1), make_value(2, 1));
+  cache.insert(key_of(2), make_value(2, 2));
+  ASSERT_NE(cache.find(key_of(1)), nullptr);  // refresh key 1
+  cache.insert(key_of(3), make_value(2, 3));  // evicts key 2
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  EXPECT_NE(cache.find(key_of(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLuCacheTest, ReinsertReplacesWithoutEviction) {
+  ShardedLuCache cache(1, 2);
+  cache.insert(key_of(1), make_value(2, 1));
+  auto v2 = make_value(2, 9);
+  cache.insert(key_of(1), v2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.find(key_of(1)).get(), v2.get());
+}
+
+TEST(ShardedLuCacheTest, CapacitySplitsAcrossShards) {
+  ShardedLuCache cache(4, 8);
+  EXPECT_EQ(cache.shards(), 4u);
+  // Each shard holds ceil(8/4) = 2; total never exceeds shards * 2.
+  for (std::uint64_t i = 0; i < 64; ++i)
+    cache.insert(key_of(i), make_value(2, static_cast<double>(i)));
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedLuCacheTest, KeysSpreadOverShards) {
+  ShardedLuCache cache(4, 64);
+  std::vector<bool> used(4, false);
+  for (std::uint64_t i = 0; i < 32; ++i) used[cache.shard_of(key_of(i))] = true;
+  std::size_t distinct = 0;
+  for (bool u : used) distinct += u;
+  EXPECT_GE(distinct, 3u);  // FNV spreads 32 keys over >= 3 of 4 shards
+}
+
+TEST(ShardedLuCacheTest, DegenerateGeometryClamps) {
+  ShardedLuCache cache(0, 0);  // clamps to 1 shard, 1 slot
+  EXPECT_EQ(cache.shards(), 1u);
+  cache.insert(key_of(1), make_value(2, 1));
+  cache.insert(key_of(2), make_value(2, 2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLuCacheTest, ConcurrentMixedTrafficIsSafe) {
+  ShardedLuCache cache(4, 32);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t k = (i + static_cast<std::uint64_t>(t) * 7) % 48;
+        if (auto hit = cache.find(key_of(k))) {
+          // Values are immutable; a hit is always fully formed.
+          EXPECT_EQ(hit->lu.rows(), 2u);
+        } else {
+          cache.insert(key_of(k), make_value(2, static_cast<double>(k)));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, 2000u);
+  EXPECT_LE(cache.size(), 32u);
+}
+
+}  // namespace
+}  // namespace xphi::serve

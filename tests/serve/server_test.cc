@@ -1,0 +1,333 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/job.h"
+#include "trace/timeline.h"
+#include "tune/knobs.h"
+#include "tune/search_space.h"
+#include "tune/tuner.h"
+#include "util/rng.h"
+
+namespace xphi::serve {
+namespace {
+
+/// Max |A x - b| for one job's reported solution.
+double solve_residual(const Job& job, const std::vector<double>& x) {
+  std::vector<double> b(job.n);
+  util::Rng rng(job.rhs_seed);
+  for (std::size_t i = 0; i < job.n; ++i) b[i] = rng.next_centered();
+  double worst = 0;
+  for (std::size_t r = 0; r < job.n; ++r) {
+    double acc = 0;
+    for (std::size_t c = 0; c < job.n; ++c)
+      acc += util::hpl_entry(job.matrix_seed, r, c) * x[c];
+    worst = std::max(worst, std::abs(acc - b[r]));
+  }
+  return worst;
+}
+
+TrafficConfig small_traffic(Mix mix, std::size_t jobs = 40) {
+  TrafficConfig cfg;
+  cfg.mix = mix;
+  cfg.jobs = jobs;
+  cfg.sizes = {32, 48, 64};
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Server, AnswersEveryJobCorrectly) {
+  const auto trace = generate_trace(small_traffic(Mix::kUniform));
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport report = run_server(trace, cfg);
+  ASSERT_EQ(report.jobs.size(), trace.size());
+  EXPECT_EQ(report.completed + report.rejected, trace.size());
+  EXPECT_EQ(report.rejected, 0u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const JobOutcome& out = report.jobs[i];
+    ASSERT_EQ(out.x.size(), trace[i].n);
+    EXPECT_LT(solve_residual(trace[i], out.x), 1e-8);
+    EXPECT_GT(out.virtual_latency_s, 0);
+    EXPECT_GE(out.worker, 0);
+  }
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_GT(report.p99_virtual_latency_s, 0);
+  EXPECT_GE(report.p99_virtual_latency_s, report.p50_virtual_latency_s);
+  EXPECT_GT(report.throughput_jobs_per_s, 0);
+  EXPECT_EQ(report.soft_cap_breaches, 0u);
+}
+
+TEST(Server, DeterministicDecisionsAndBitwiseResponses) {
+  const auto trace = generate_trace(small_traffic(Mix::kRepeatRhs, 48));
+  ServeConfig cfg;
+  cfg.workers = 3;
+  const ServeReport a = run_server(trace, cfg);
+  const ServeReport b = run_server(trace, cfg);
+  EXPECT_EQ(a.decision_hash, b.decision_hash);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i)
+    EXPECT_EQ(a.decisions[i], b.decisions[i]);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    ASSERT_EQ(a.jobs[i].x.size(), b.jobs[i].x.size());
+    for (std::size_t k = 0; k < a.jobs[i].x.size(); ++k)
+      EXPECT_EQ(a.jobs[i].x[k], b.jobs[i].x[k]);  // bitwise
+    EXPECT_EQ(a.jobs[i].virtual_latency_s, b.jobs[i].virtual_latency_s);
+    EXPECT_EQ(a.jobs[i].worker, b.jobs[i].worker);
+    EXPECT_EQ(a.jobs[i].batch_id, b.jobs[i].batch_id);
+  }
+  // The virtual timeline is part of the deterministic surface too.
+  ASSERT_EQ(a.timeline.spans().size(), b.timeline.spans().size());
+  EXPECT_EQ(trace::timeline_to_json(a.timeline),
+            trace::timeline_to_json(b.timeline));
+}
+
+TEST(Server, AdmissionRejectsWhenLaneQueueFull) {
+  auto traffic = small_traffic(Mix::kBursty, 60);
+  traffic.burst_len = 20;
+  traffic.burst_spacing_us = 1;  // whole burst lands inside one service time
+  const auto trace = generate_trace(traffic);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.worker_inflight = 1;
+  cfg.admission_queue = 3;
+  const ServeReport report = run_server(trace, cfg);
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_EQ(report.completed + report.rejected, trace.size());
+  EXPECT_EQ(report.soft_cap_breaches, 0u);  // backpressure held the bound
+  bool saw_reject_line = false;
+  for (const std::string& line : report.decisions)
+    saw_reject_line |= line.find("reject job=") == 0;
+  EXPECT_TRUE(saw_reject_line);
+  for (const JobOutcome& out : report.jobs)
+    if (out.rejected) EXPECT_TRUE(out.x.empty());
+}
+
+TEST(Server, SoftCapBreachesSurfaceWhenMisconfigured) {
+  auto traffic = small_traffic(Mix::kBursty, 40);
+  traffic.burst_len = 20;
+  traffic.burst_spacing_us = 1;
+  const auto trace = generate_trace(traffic);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.worker_inflight = 16;  // overrun a single worker's mailbox...
+  cfg.mailbox_soft_cap = 2;  // ...past a deliberately tiny soft cap
+  const ServeReport report = run_server(trace, cfg);
+  EXPECT_GT(report.soft_cap_breaches, 0u);
+  // Soft caps log and count — they never drop work.
+  EXPECT_EQ(report.completed + report.rejected, trace.size());
+}
+
+TEST(Server, CacheHitsOnRepeatTrafficAndNeverWithCacheOff) {
+  const auto trace = generate_trace(small_traffic(Mix::kRepeatRhs, 48));
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport warm = run_server(trace, cfg);
+  EXPECT_GT(warm.cache_hits, 0u);
+  cfg.use_cache = false;
+  const ServeReport cold = run_server(trace, cfg);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, cold.batches);
+  // Identical answers either way.
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    for (std::size_t k = 0; k < warm.jobs[i].x.size(); ++k)
+      EXPECT_EQ(warm.jobs[i].x[k], cold.jobs[i].x[k]);
+}
+
+TEST(Server, BatchingCoalescesCompatibleJobs) {
+  auto traffic = small_traffic(Mix::kRepeatRhs, 48);
+  traffic.interactive_fraction = 0;  // batch lane only
+  traffic.hot_matrices = 2;
+  traffic.sizes = {48};
+  const auto trace = generate_trace(traffic);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.batch_window_us = 2000;  // generous coalescing window
+  const ServeReport report = run_server(trace, cfg);
+  EXPECT_LT(report.batches, trace.size());  // strictly fewer batches than jobs
+  // At least one super-stage carries several jobs, and batches only ever
+  // coalesce compatible work.
+  std::map<std::uint64_t, std::vector<std::size_t>> by_batch;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i)
+    by_batch[report.jobs[i].batch_id].push_back(i);
+  std::size_t largest = 0;
+  for (const auto& [id, members] : by_batch) {
+    largest = std::max(largest, members.size());
+    for (std::size_t m : members) {
+      EXPECT_EQ(trace[m].n, trace[members[0]].n);
+      EXPECT_EQ(trace[m].matrix_seed, trace[members[0]].matrix_seed);
+    }
+  }
+  EXPECT_GT(largest, 1u);
+}
+
+TEST(Server, StarvationProtectionPromotesAgedBatchWork) {
+  // One batch job at t=0 under continuous interactive pressure. With the
+  // starvation bound it must dispatch before the interactive stream ends.
+  std::vector<Job> trace;
+  Job batch_job;
+  batch_job.id = 0;
+  batch_job.lane = Lane::kBatch;
+  batch_job.arrival_s = 0;
+  batch_job.n = 48;
+  batch_job.matrix_seed = 101;
+  batch_job.rhs_seed = 5001;
+  trace.push_back(batch_job);
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    Job j;
+    j.id = i;
+    j.lane = Lane::kInteractive;
+    j.arrival_s = static_cast<double>(i) * 50e-6;
+    j.n = 48;
+    j.matrix_seed = 200 + i;
+    j.rhs_seed = 6000 + i;
+    trace.push_back(j);
+  }
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.worker_inflight = 1;
+  cfg.lane_weight = 1000;      // weight alone would starve the batch lane
+  cfg.batch_window_us = 100;
+  cfg.starvation_age_us = 500;
+  const ServeReport report = run_server(trace, cfg);
+  EXPECT_EQ(report.rejected, 0u);
+  std::ptrdiff_t batch_at = -1, last_interactive_at = -1;
+  for (std::size_t i = 0; i < report.decisions.size(); ++i) {
+    if (report.decisions[i].find("lane=batch") != std::string::npos)
+      batch_at = static_cast<std::ptrdiff_t>(i);
+    if (report.decisions[i].find("lane=interactive") != std::string::npos)
+      last_interactive_at = static_cast<std::ptrdiff_t>(i);
+  }
+  ASSERT_GE(batch_at, 0);
+  EXPECT_LT(batch_at, last_interactive_at);
+}
+
+TEST(Server, DagRuntimeFactorizationIsBitwiseIdentical) {
+  const auto trace = generate_trace(small_traffic(Mix::kUniform, 16));
+  ServeConfig cfg;
+  cfg.workers = 1;
+  const ServeReport seq = run_server(trace, cfg);
+  cfg.factor_workers = 3;  // super-stages factor on the DAG runtime
+  const ServeReport dag = run_server(trace, cfg);
+  EXPECT_EQ(seq.decision_hash, dag.decision_hash);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(seq.jobs[i].x.size(), dag.jobs[i].x.size());
+    for (std::size_t k = 0; k < seq.jobs[i].x.size(); ++k)
+      EXPECT_EQ(seq.jobs[i].x[k], dag.jobs[i].x[k]);
+  }
+}
+
+TEST(Server, TenantRollupsAccountForEveryJob) {
+  const auto trace = generate_trace(small_traffic(Mix::kUniform, 40));
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport report = run_server(trace, cfg);
+  std::size_t jobs = 0, rejected = 0;
+  double busy = 0, bytes = 0;
+  for (const TenantRollup& t : report.tenants) {
+    jobs += t.jobs;
+    rejected += t.rejected;
+    busy += t.worker_busy_s;
+    bytes += t.comm_bytes;
+    if (t.jobs > t.rejected) {
+      EXPECT_GT(t.p50_virtual_latency_s, 0);
+      EXPECT_GE(t.p99_virtual_latency_s, t.p50_virtual_latency_s);
+    }
+  }
+  EXPECT_EQ(jobs, trace.size());
+  EXPECT_EQ(rejected, report.rejected);
+  EXPECT_GT(busy, 0);
+  EXPECT_GT(bytes, 0);
+  // Attributed busy time equals the timeline's span area (same model).
+  double span_area = 0;
+  for (const auto& s : report.timeline.spans()) span_area += s.duration();
+  EXPECT_NEAR(busy, span_area, 1e-9);
+}
+
+TEST(Server, TimelineExportsAsJson) {
+  const auto trace = generate_trace(small_traffic(Mix::kUniform, 12));
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport report = run_server(trace, cfg);
+  EXPECT_GT(report.timeline.spans().size(), 0u);
+  const std::string json = trace::timeline_to_json(report.timeline);
+  EXPECT_NE(json.find("\"schema\": \"xphi-timeline\""), std::string::npos);
+  EXPECT_NE(json.find("DGETRF"), std::string::npos);  // factor spans
+  EXPECT_NE(json.find("DTRSM"), std::string::npos);   // solve spans
+}
+
+TEST(Percentile, NearestRank) {
+  EXPECT_EQ(percentile({}, 0.5), 0);
+  EXPECT_EQ(percentile({3, 1, 2}, 0.5), 2);
+  EXPECT_EQ(percentile({3, 1, 2}, 0.99), 3);
+  EXPECT_EQ(percentile({5}, 0.01), 5);
+}
+
+TEST(ServeKnobs, SpaceNamesMatchKnobCodec) {
+  const tune::SearchSpace space = tune::spaces::serve();
+  ASSERT_EQ(space.dims(), 5u);
+  // Evaluate the space's default point through the knob codec and back.
+  std::vector<std::pair<std::string, long long>> values;
+  const auto point = space.default_point();
+  const auto vals = space.values_at(point);
+  for (std::size_t d = 0; d < space.dims(); ++d)
+    values.emplace_back(space.dim(d).name, vals[d]);
+  const tune::Knobs knobs = tune::knobs_from_values(values);
+  EXPECT_EQ(knobs.serve_batch_window_us, 200u);
+  EXPECT_EQ(knobs.serve_cache_shards, 4u);
+  EXPECT_EQ(knobs.serve_cache_capacity, 32u);
+  EXPECT_EQ(knobs.serve_lane_weight, 4);
+  EXPECT_EQ(knobs.serve_admission_queue, 64u);
+  // And the encoded form round-trips.
+  const auto encoded = tune::values_from_knobs(knobs);
+  const tune::Knobs back = tune::knobs_from_values(encoded);
+  EXPECT_EQ(back.serve_batch_window_us, knobs.serve_batch_window_us);
+  EXPECT_EQ(back.serve_admission_queue, knobs.serve_admission_queue);
+}
+
+TEST(ServeKnobs, ConfigApplyOverlaysOnlySetFields) {
+  ServeConfig cfg;
+  cfg.batch_window_us = 999;
+  tune::Knobs knobs;
+  knobs.serve_cache_shards = 8;
+  knobs.serve_lane_weight = 2;
+  cfg.apply(knobs);
+  EXPECT_EQ(cfg.batch_window_us, 999);  // not set: untouched
+  EXPECT_EQ(cfg.cache_shards, 8u);
+  EXPECT_EQ(cfg.lane_weight, 2);
+  EXPECT_EQ(cfg.admission_queue, 64u);
+}
+
+TEST(ServeKnobs, TunerStoresAndRecallsServeEntry) {
+  tune::Tuner tuner;
+  const tune::SearchSpace space = tune::spaces::serve();
+  // Deterministic toy objective: prefer large windows and wide queues.
+  const auto eval = [&space](const std::vector<long long>& v) {
+    double cost = 0;
+    for (std::size_t d = 0; d < space.dims(); ++d)
+      cost += 1.0 / static_cast<double>(v[d]);
+    return cost;
+  };
+  tune::SearchOptions opt;
+  opt.budget = 32;
+  const auto result =
+      tuner.tune("serve", tune::bucket(64, 64, 32), space, eval, opt);
+  EXPECT_GT(result.evaluations, 0u);
+  const auto best = tuner.best("serve", tune::bucket(60, 60, 30));  // same bucket band
+  ASSERT_TRUE(best.has_value());
+  ServeConfig cfg;
+  cfg.apply(*best);
+  EXPECT_EQ(cfg.batch_window_us, 800);  // largest candidate wins the toy cost
+  EXPECT_EQ(cfg.admission_queue, 256u);
+}
+
+}  // namespace
+}  // namespace xphi::serve

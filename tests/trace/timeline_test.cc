@@ -88,6 +88,27 @@ TEST(TimelineCsv, SerializesSpans) {
   EXPECT_NE(csv.find("2,DLASWP,1.5,2"), std::string::npos);
 }
 
+TEST(TimelineJson, SerializesSchemaAndSpans) {
+  Timeline tl;
+  tl.record(0, SpanKind::kGemm, 0.25, 1.0);
+  tl.record(2, SpanKind::kRowSwap, 1.5, 2.0);
+  const std::string json = timeline_to_json(tl);
+  EXPECT_NE(json.find("\"schema\": \"xphi-timeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"end\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"lanes\": 3"), std::string::npos);
+  EXPECT_NE(json.find("{\"lane\": 0, \"kind\": \"DGEMM\", \"t0\": 0.25, "
+                      "\"t1\": 1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"lane\": 2, \"kind\": \"DLASWP\", \"t0\": 1.5, "
+                      "\"t1\": 2}"),
+            std::string::npos);
+}
+
+TEST(TimelineJson, EmptyTimelineIsValid) {
+  const std::string json = timeline_to_json(Timeline{});
+  EXPECT_NE(json.find("\"spans\": []}"), std::string::npos);
+}
+
 TEST(CrossLaneOverlap, SumsPairwiseOverlapOnDifferentLanesOnly) {
   Timeline tl;
   tl.record(0, SpanKind::kBroadcast, 0.0, 2.0);
