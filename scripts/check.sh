@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # One-stop verification gate: builds everything, runs the tier-1 ctest
 # suite, re-runs the labelled subsets that exercise the messaging layer
-# (-L net), the fault-injection chaos harness (-L fault), the autotuning
-# subsystem (-L tune), the panel critical-path kernels (-L panel) and the
-# micro-kernel registry (-L microkernel), then re-runs the microkernel
-# suite under both ISA presets (XPHI_ARCH=native and the sse2 baseline, so
-# every compiled dispatch tier is exercised) and repeats the
-# concurrency-bearing suites under ThreadSanitizer. Exits non-zero on the
-# first failure; CI-runnable.
+# (-L net: the coroutine World, the engine-conformance suite, the chaos
+# harness, distributed HPL and the bench_scaling smoke gate), the
+# fault-injection chaos harness (-L fault), the autotuning subsystem
+# (-L tune), the panel critical-path kernels (-L panel) and the
+# micro-kernel registry (-L microkernel), then re-runs the microkernel,
+# serve and net suites under both ISA presets (XPHI_ARCH=native and the
+# sse2 baseline, so every compiled dispatch tier is exercised) and repeats
+# the concurrency-bearing suites under ThreadSanitizer. Exits non-zero on
+# the first failure; CI-runnable.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,12 +47,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L serve
 # rides along: its responses and decision hashes must also be preset-blind
 # (the dispatcher's virtual time never sees the ISA).
 for arch in native sse2; do
-  echo "== ctest -L microkernel + serve (XPHI_ARCH=$arch) =="
+  echo "== ctest -L microkernel + serve + net (XPHI_ARCH=$arch) =="
   ARCH_DIR="${BUILD_DIR}-${arch}"
   cmake -B "$ARCH_DIR" -S . -DXPHI_ARCH="$arch" >/dev/null
-  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel test_serve bench_serve
+  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel test_serve bench_serve \
+    test_net test_net_conformance test_fault test_hpl bench_scaling
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L microkernel
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L serve
+  ctest --test-dir "$ARCH_DIR" --output-on-failure -L net
 done
 
 echo "== ThreadSanitizer =="

@@ -4,7 +4,9 @@
 # Covers the dynamic parallel_for scheduler (thread pool), parallel packing
 # and the pack cache, the pooled tiled GEMM, the panel critical-path kernels
 # (pool-parallel iamax, fused LASWP, blocked TRSM), the DAG LU executor, the
-# net::World messaging layer (nonblocking requests + collectives), the
+# net::World messaging layer (the cooperative coroutine scheduler, via the
+# TSan fiber API, plus nonblocking requests, both collective families and
+# the engine-conformance suite), the weak-scaling fabric smoke run, the
 # distributed HPL look-ahead schedules built on it, the fault-injection
 # chaos harness (retry/NACK/absorption races in the offload reliability
 # protocol), and the solve server (dispatcher vs concurrent workers, the
@@ -19,7 +21,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_hpl test_fault test_tune test_serve
+  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_net_conformance test_hpl test_fault test_tune test_serve bench_scaling
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
@@ -30,7 +32,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_microkernel" --gtest_filter='Microkernel*'
 "$BUILD_DIR/tests/test_lu" --gtest_filter='FunctionalDagLu*:DagLuFactor*'
 "$BUILD_DIR/tests/test_core" --gtest_filter='OffloadFunctional*'
-"$BUILD_DIR/tests/test_net"  # whole messaging layer, incl. collectives
+"$BUILD_DIR/tests/test_net"  # messaging layer + coroutine scheduler
+# Engine conformance: seeded random traffic, both collective families and
+# the 1024-rank bounded-pool run, all on coroutine stacks (the build maps
+# them through the TSan fiber API; a missed fiber switch reports here).
+"$BUILD_DIR/tests/test_net_conformance"
 "$BUILD_DIR/tests/test_hpl" --gtest_filter='DistributedHpl.Lookahead*:DistributedHpl.Pipelined*:DistributedHpl.CommStats*:DistributedHpl.DistributedResidual*'
 "$BUILD_DIR/tests/test_fault"  # injector determinism + the whole chaos harness
 # Tuned knobs feed the threaded offload engine and the DAG LU executor: the
@@ -39,5 +45,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Solve server: real worker threads against the virtual-time dispatcher,
 # cache races under mixed traffic, chaos delays on the transport.
 "$BUILD_DIR/tests/test_serve" --gtest_filter='Server.*:ShardedLuCacheTest.*:ServeChaos.*'
+# Weak-scaling smoke: real World fabric runs under TSan (park/wake and
+# deliver/collect handoffs across worker threads).
+"$BUILD_DIR/bench/bench_scaling" --smoke --out "$BUILD_DIR/BENCH_scaling_tsan.json"
 
 echo "TSan: all monitored suites clean."

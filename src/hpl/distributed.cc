@@ -189,8 +189,11 @@ Payload produce_packet_blocking(RankContext& ctx, std::size_t bk) {
   std::vector<int> everyone(grid.ranks());
   for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
   const double t0 = ctx.now();
-  packet = comm.bcast(root, everyone, std::move(packet),
-                      stage_tag + kTagPanelBcast);
+  // Every rank derives the same packet length from the stage geometry
+  // ([pw pivots | (n-k0) x pw factors]), which is what lets the adaptive
+  // dispatch agree group-wide before receivers hold any bytes.
+  packet = comm.bcast_auto(root, everyone, std::move(packet),
+                           stage_tag + kTagPanelBcast, pw + (n - k0) * pw);
   ctx.record(SpanKind::kBroadcast, t0);
   return packet;
 }
@@ -528,8 +531,10 @@ USlot solve_and_bcast_u(RankContext& ctx, std::size_t bk, std::size_t k0,
   for (int prow = 0; prow < grid.p; ++prow)
     col_group.push_back(grid.rank_of(prow, ctx.pcol));
   const double t1 = ctx.now();
-  slot.u = comm.bcast(grid.rank_of(pr, ctx.pcol), col_group, std::move(slot.u),
-                      tag);
+  // The whole process column shares pcol, hence the same local width — the
+  // pw x width hint is identical down the group.
+  slot.u = comm.bcast_auto(grid.rank_of(pr, ctx.pcol), col_group,
+                           std::move(slot.u), tag, pw * slot.width);
   ctx.record(SpanKind::kBroadcast, t1);
   return slot;
 }
@@ -768,10 +773,11 @@ std::vector<double> distributed_solve(RankContext& ctx,
         for (std::size_t r = 0; r < pw; ++r) y[k0 + r] = yk[r];
       }
     }
-    // Broadcast the solved block to everyone.
+    // Broadcast the solved block to everyone (pw doubles: stays tree-side
+    // of any sane crossover, but routed through the dispatcher regardless).
     Payload block;
     if (comm.rank() == diag) block.assign(y.begin() + k0, y.begin() + k0 + pw);
-    block = comm.bcast(diag, everyone, std::move(block), tag + 1);
+    block = comm.bcast_auto(diag, everyone, std::move(block), tag + 1, pw);
     for (std::size_t r = 0; r < pw; ++r) y[k0 + r] = block[r];
   }
 
@@ -816,7 +822,7 @@ std::vector<double> distributed_solve(RankContext& ctx,
     }
     Payload block;
     if (comm.rank() == diag) block.assign(x.begin() + k0, x.begin() + k0 + pw);
-    block = comm.bcast(diag, everyone, std::move(block), tag + 1);
+    block = comm.bcast_auto(diag, everyone, std::move(block), tag + 1, pw);
     for (std::size_t r = 0; r < pw; ++r) x[k0 + r] = block[r];
   }
   return x;
@@ -869,6 +875,11 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
   world.set_recv_timeout(options.recv_timeout_seconds);
   world.set_mailbox_soft_cap(options.mailbox_soft_cap);
   world.set_fault_injector(options.injector);
+  if (options.net_crossover_doubles != 0)
+    world.set_collective_crossover_doubles(options.net_crossover_doubles);
+  if (options.net_ring_segment != 0)
+    world.set_ring_segment_doubles(options.net_ring_segment);
+  if (options.net_workers != 0) world.set_workers(options.net_workers);
 
   // Per-rank span capture slots (each written only by its own rank thread;
   // merged into options.timeline after the world joins).

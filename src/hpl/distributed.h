@@ -100,6 +100,18 @@ struct DistributedHplOptions {
   /// queue of undelivered messages exceeds it.
   std::size_t mailbox_soft_cap = 0;
 
+  /// Size-adaptive collective dispatch handed to net::World (0 = World
+  /// defaults; tune knobs "net_crossover_doubles" / "net_ring_segment",
+  /// spaces::net()). Panel/U broadcasts above the crossover travel over the
+  /// segmented ring, smaller ones over the binomial tree; both move the
+  /// same bytes, so the choice is bitwise-invisible.
+  std::size_t net_crossover_doubles = 0;
+  std::size_t net_ring_segment = 0;
+
+  /// Worker OS threads for the World's cooperative rank scheduler
+  /// (0 = min(ranks, hardware_concurrency)).
+  int net_workers = 0;
+
   /// Deterministic fault injection handed to net::World (per-message
   /// delay/drop, scripted slow/dead ranks; see World::set_fault_injector).
   /// To also fault the offload DMA path, set offload.injector. Null = clean.

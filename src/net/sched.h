@@ -1,0 +1,114 @@
+// Cooperative rank scheduler: the engine under the event-driven net::World.
+//
+// Thread-per-rank capped World at a few hundred ranks (each rank cost an OS
+// thread: an 8 MiB stack reservation, a kernel task, and scheduler pressure
+// on a host with far fewer cores). Sched instead runs every rank as a
+// resumable stackful coroutine (ucontext) multiplexed over a small worker
+// pool — OS threads stay bounded by hardware concurrency while 1024+ ranks
+// run in-process, each owning only a lazily-committed guard-paged stack and
+// a few hundred bytes of task state.
+//
+// The contract with the task body is cooperative blocking: a task that
+// cannot make progress calls park() (optionally with a deadline), which
+// switches back to the worker's scheduling loop and frees the OS thread for
+// another runnable task; whoever unblocks it calls wake(). yield() moves the
+// caller to the back of the ready queue so a polling loop cannot starve its
+// peers. Everything else a task does (compute, sleeps, pool waits) simply
+// occupies its current worker — legal, finite, and exactly what the old
+// thread-per-rank engine did.
+//
+// Two scheduler-level guarantees the old engine could not give:
+//   - Deadlock detection: when no task is running or ready and no parked
+//     task holds a deadline, no future wake can ever happen (the fabric is
+//     closed — nothing outside run() may call wake()). Every parked task is
+//     then resumed with Wake::kDeadlock so it can throw a diagnostic
+//     instead of hanging the process.
+//   - Bounded OS threads: workers() == min(tasks, hardware_concurrency)
+//     unless explicitly overridden — never O(ranks).
+//
+// ThreadSanitizer: each coroutine is registered as a TSan fiber
+// (__tsan_create_fiber / __tsan_switch_to_fiber), so cross-worker task
+// migration is race-checked correctly instead of flagged.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace xphi::net {
+
+class Sched {
+ public:
+  struct Options {
+    /// Worker OS threads (the caller counts as one). 0 = automatic:
+    /// min(tasks, hardware_concurrency), at least 1.
+    int workers = 0;
+    /// Per-task coroutine stack (rounded up to whole pages, guard page
+    /// added below). Committed lazily by the OS, so 1024 idle ranks cost
+    /// pages actually touched, not 1024 reservations of this size.
+    std::size_t stack_bytes = 1 << 20;
+  };
+
+  /// Why park() returned.
+  enum class Wake {
+    kSignal,    // wake(task) was called (possibly before the park landed)
+    kTimeout,   // the park deadline expired
+    kDeadlock,  // scheduler proved no wake can ever arrive
+  };
+
+  Sched(int tasks, Options options);
+  ~Sched();
+
+  Sched(const Sched&) = delete;
+  Sched& operator=(const Sched&) = delete;
+
+  /// Runs body(task_index) once per task over the worker pool; returns when
+  /// every task has finished. A task's uncaught exception is captured in
+  /// errors()[index] (run itself does not throw them). May be called again
+  /// after it returns; task state is rebuilt per call.
+  void run(const std::function<void(int)>& body);
+
+  /// Number of worker OS threads run() uses (caller included).
+  int workers() const noexcept { return workers_; }
+
+  /// Per-task captured exceptions from the last run(), indexed by task.
+  const std::vector<std::exception_ptr>& errors() const noexcept {
+    return errors_;
+  }
+
+  // --- Callable only from inside a running task ---------------------------
+
+  /// Reschedules the calling task at the back of the ready queue (fairness
+  /// point for polling loops).
+  void yield();
+
+  /// Parks the calling task until wake()/deadline/deadlock. timeout <= 0
+  /// means no deadline. A wake() that raced ahead of the park is consumed
+  /// here (the park returns kSignal immediately) — callers must re-check
+  /// their condition and loop.
+  Wake park(double timeout_seconds);
+
+  /// Task index running on the current OS thread, -1 if this thread is not
+  /// inside a Sched task (e.g. an external driver thread).
+  static int current_task();
+
+  // --- Callable from any task or worker of this Sched ---------------------
+
+  /// Makes a parked task ready (FIFO). If the task is not parked yet, the
+  /// wake is latched and consumed by its next park().
+  void wake(int task);
+
+ private:
+  struct Task;
+  struct Worker;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int tasks_;
+  int workers_;
+  std::size_t stack_bytes_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace xphi::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "fault/injector.h"
+#include "net/sched.h"
 
 namespace xphi::net {
 
@@ -48,7 +50,7 @@ int position_in(const std::vector<int>& group, int rank) {
 
 struct Request::State {
   World* world = nullptr;
-  int owner = 0;  // rank whose thread completes this request
+  int owner = 0;  // rank whose task completes this request
   int src = -1;
   int tag = 0;
   bool done = false;
@@ -61,6 +63,11 @@ bool Request::test() {
   if (state_->world->try_collect(state_->owner, state_->src, state_->tag,
                                  &state_->payload)) {
     state_->done = true;
+  } else {
+    // Fairness point: with fewer workers than ranks, a rank spinning on
+    // test() would otherwise pin its worker and starve the very peer it is
+    // polling for.
+    state_->world->cooperative_yield();
   }
   return state_->done;
 }
@@ -79,38 +86,48 @@ Payload Request::take() {
 }
 
 World::World(int ranks)
-    : ranks_(ranks),
-      stats_(static_cast<std::size_t>(ranks)),
-      barrier_(static_cast<std::size_t>(ranks)) {
+    : ranks_(ranks), stats_(static_cast<std::size_t>(ranks)) {
   assert(ranks >= 1);
   mailboxes_.reserve(ranks_);
   for (int r = 0; r < ranks_; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
 }
 
+World::~World() = default;
+
+int World::workers() const {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int cap = workers_ > 0 ? workers_ : std::max(1, hw);
+  return std::min(ranks_, std::max(1, cap));
+}
+
 void World::run(const std::function<void(Comm&)>& fn) {
-  // Per-rank exceptions (e.g. receive-timeout diagnostics) are captured and
-  // the first one rethrown once every rank has finished.
-  std::vector<std::exception_ptr> errors(ranks_);
-  auto body = [this, &fn, &errors](int r) {
-    try {
-      Comm comm(this, r);
-      fn(comm);
-    } catch (...) {
-      errors[r] = std::current_exception();
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(ranks_ - 1);
-  for (int r = 1; r < ranks_; ++r) threads.emplace_back(body, r);
-  body(0);
-  for (auto& t : threads) t.join();
-  for (const auto& e : errors)
+  barrier_count_ = 0;
+  barrier_waiting_.clear();
+  Sched::Options options;
+  options.workers = workers_;
+  options.stack_bytes = stack_bytes_;
+  Sched sched(ranks_, options);
+  sched_ = &sched;
+  // Rank r is task r. Per-rank exceptions (receive-timeout and deadlock
+  // diagnostics included) are captured by the scheduler and the first one —
+  // by rank index — rethrown once every rank has finished.
+  sched.run([this, &fn](int r) {
+    Comm comm(this, r);
+    fn(comm);
+  });
+  sched_ = nullptr;
+  for (const auto& e : sched.errors())
     if (e) std::rethrow_exception(e);
 }
 
+void World::cooperative_yield() {
+  if (sched_ != nullptr) sched_->yield();
+}
+
 /// Sender-side fault physics, applied before the mailbox insert (this runs
-/// on the sending rank's own thread, so stalls genuinely delay that rank).
+/// on the sending rank's own task, so stalls genuinely delay that rank —
+/// they occupy its worker, exactly as a compute phase would).
 void World::apply_send_faults(int src) {
   fault::Injector& inj = *injector_;
   const std::size_t sends = stats_[src].messages_sent;
@@ -148,6 +165,7 @@ void World::deliver(int src, int dst, int tag, Payload data) {
   s.messages_sent += 1;
   s.bytes_sent += data.size() * sizeof(double);
   Mailbox& box = *mailboxes_[dst];
+  bool wake_dst = false;
   {
     std::lock_guard lk(box.mu);
     box.slots[{src, tag}].push(std::move(data));
@@ -163,44 +181,88 @@ void World::deliver(int src, int dst, int tag, Payload data) {
                      dst, mailbox_soft_cap_, box.depth, src, tag);
       }
     }
+    wake_dst = box.has_waiter && box.waiter_src == src && box.waiter_tag == tag;
   }
-  box.cv.notify_all();
+  // The wake is race-free even if dst is mid-way into parking: the scheduler
+  // latches it and the park returns immediately.
+  if (wake_dst) sched_->wake(dst);
+}
+
+void World::throw_blocked_diagnostic(int dst, int src, int tag,
+                                     bool deadlock) {
+  std::size_t depth;
+  {
+    Mailbox& box = *mailboxes_[dst];
+    std::lock_guard lk(box.mu);
+    depth = box.depth;
+  }
+  char msg[224];
+  if (deadlock) {
+    std::snprintf(msg, sizeof msg,
+                  "net: rank %d receive deadlocked waiting on (src=%d, "
+                  "tag=%d): every live rank is blocked and no timeout is "
+                  "armed; mailbox holds %zu undelivered message(s)",
+                  dst, src, tag, depth);
+  } else {
+    std::snprintf(msg, sizeof msg,
+                  "net: rank %d receive timed out after %gs waiting on "
+                  "(src=%d, tag=%d); mailbox holds %zu undelivered message(s)",
+                  dst, recv_timeout_seconds_, src, tag, depth);
+  }
+  throw std::runtime_error(msg);
 }
 
 Payload World::collect(int dst, int src, int tag) {
   Mailbox& box = *mailboxes_[dst];
   const auto t0 = Clock::now();
-  std::unique_lock lk(box.mu);
   const auto key = std::make_pair(src, tag);
-  const auto ready = [&] {
-    const auto it = box.slots.find(key);
-    return it != box.slots.end() && !it->second.empty();
-  };
-  if (recv_timeout_seconds_ <= 0) {
-    box.cv.wait(lk, ready);
-  } else if (!box.cv.wait_for(lk,
-                              std::chrono::duration<double>(
-                                  recv_timeout_seconds_),
-                              ready)) {
-    const std::size_t depth = box.depth;
-    lk.unlock();
-    char msg[192];
-    std::snprintf(msg, sizeof msg,
-                  "net: rank %d receive timed out after %gs waiting on "
-                  "(src=%d, tag=%d); mailbox holds %zu undelivered message(s)",
-                  dst, recv_timeout_seconds_, src, tag, depth);
-    throw std::runtime_error(msg);
+  for (;;) {
+    {
+      std::unique_lock lk(box.mu);
+      const auto it = box.slots.find(key);
+      if (it != box.slots.end() && !it->second.empty()) {
+        Payload data = std::move(it->second.front());
+        it->second.pop();
+        box.depth -= 1;
+        lk.unlock();
+        CommStats& s = stats_[dst];
+        s.messages_received += 1;
+        s.bytes_received += data.size() * sizeof(double);
+        s.wait_seconds += seconds_since(t0);
+        return data;
+      }
+      // Nothing queued: advertise what we are blocked on (only the owner
+      // rank ever receives from this mailbox, so one waiter slot suffices)
+      // and park. A delivery that lands after the unlock still finds the
+      // waiter and its wake is latched by the scheduler.
+      box.has_waiter = true;
+      box.waiter_src = src;
+      box.waiter_tag = tag;
+    }
+    double remaining = 0;
+    if (recv_timeout_seconds_ > 0) {
+      remaining = recv_timeout_seconds_ - seconds_since(t0);
+      if (remaining <= 0) {
+        std::lock_guard lk(box.mu);
+        box.has_waiter = false;
+        throw_blocked_diagnostic(dst, src, tag, /*deadlock=*/false);
+      }
+    }
+    const Sched::Wake why = sched_->park(remaining);
+    {
+      std::lock_guard lk(box.mu);
+      box.has_waiter = false;
+      const auto it = box.slots.find(key);
+      if (it != box.slots.end() && !it->second.empty()) continue;  // re-scan
+    }
+    // Woken without a matching message. A signal can be spurious (e.g. two
+    // deliveries latched one extra wake) — just re-scan. Timeout and
+    // deadlock are terminal: nothing matched, so diagnose.
+    if (why == Sched::Wake::kTimeout)
+      throw_blocked_diagnostic(dst, src, tag, /*deadlock=*/false);
+    if (why == Sched::Wake::kDeadlock)
+      throw_blocked_diagnostic(dst, src, tag, /*deadlock=*/true);
   }
-  auto& q = box.slots[key];
-  Payload data = std::move(q.front());
-  q.pop();
-  box.depth -= 1;
-  lk.unlock();
-  CommStats& s = stats_[dst];
-  s.messages_received += 1;
-  s.bytes_received += data.size() * sizeof(double);
-  s.wait_seconds += seconds_since(t0);
-  return data;
 }
 
 bool World::try_collect(int dst, int src, int tag, Payload* out) {
@@ -329,6 +391,51 @@ Payload Comm::ring_bcast(int root, const std::vector<int>& group, Payload data,
   return out;
 }
 
+Payload Comm::bcast_auto(int root, const std::vector<int>& group, Payload data,
+                         int tag, std::size_t size_hint_doubles) {
+  // A 2-rank "ring" is a single hop with extra header traffic, so the ring
+  // only ever wins for groups that can actually pipeline. Both algorithms
+  // move identical bytes, so the dispatch is bitwise-invisible to callers.
+  const bool use_ring = group.size() >= 3 &&
+                        size_hint_doubles > world_->crossover_doubles_;
+  CommStats& s = world_->stats_[rank_];
+  if (use_ring) {
+    s.ring_collectives += 1;
+    return ring_bcast(root, group, std::move(data), tag,
+                      world_->ring_segment_doubles_);
+  }
+  s.tree_collectives += 1;
+  return bcast(root, group, std::move(data), tag);
+}
+
+Payload Comm::reduce(int root, const std::vector<int>& group, Payload data,
+                     int tag, ReduceOp op) {
+  // Binomial tree: mirror image of bcast(). Non-root ranks send their
+  // partial up once and return an empty payload; the root accumulates its
+  // children in fixed mask order (1, 2, 4, ...), so the kSum order is
+  // deterministic for a given group.
+  const int n = static_cast<int>(group.size());
+  const int root_pos = position_in(group, root);
+  const int my_pos = position_in(group, rank_);
+  assert(root_pos < n && my_pos < n);
+  const int vpos = (my_pos - root_pos + n) % n;
+  for (int mask = 1; mask < n + n; mask <<= 1) {
+    if (vpos & mask) {
+      const int parent_v = vpos - mask;
+      send(group[(parent_v + root_pos) % n], tag, std::move(data));
+      return Payload();
+    }
+    const int child_v = vpos + mask;
+    if (child_v < n) {
+      const Payload in = recv(group[(child_v + root_pos) % n], tag);
+      assert(in.size() == data.size());
+      apply_op(op, data.data(), in.data(), in.size());
+    }
+    if (mask >= n) break;
+  }
+  return data;
+}
+
 Payload Comm::allreduce(const std::vector<int>& group, Payload data, int tag,
                         ReduceOp op) {
   const std::size_t g = group.size();
@@ -391,7 +498,49 @@ Payload Comm::reduce_scatter(const std::vector<int>& group, Payload data,
   return Payload(data.begin() + lo, data.begin() + hi);
 }
 
-void Comm::barrier() { world_->barrier_.arrive_and_wait(); }
+void Comm::barrier() {
+  World& w = *world_;
+  if (w.ranks_ <= 1) return;
+  std::uint64_t gen;
+  {
+    std::lock_guard lk(w.barrier_mu_);
+    gen = w.barrier_generation_;
+    if (++w.barrier_count_ == static_cast<std::size_t>(w.ranks_)) {
+      // Last arrival releases the generation. Waiters that registered but
+      // have not parked yet get their wake latched by the scheduler.
+      w.barrier_count_ = 0;
+      ++w.barrier_generation_;
+      const std::vector<int> waiting = std::move(w.barrier_waiting_);
+      w.barrier_waiting_.clear();
+      for (const int r : waiting) w.sched_->wake(r);
+      return;
+    }
+    w.barrier_waiting_.push_back(rank_);
+  }
+  const auto t0 = Clock::now();
+  for (;;) {
+    {
+      std::lock_guard lk(w.barrier_mu_);
+      if (w.barrier_generation_ != gen) break;
+    }
+    const Sched::Wake why = w.sched_->park(0);
+    if (why == Sched::Wake::kDeadlock) {
+      std::size_t arrived;
+      {
+        std::lock_guard lk(w.barrier_mu_);
+        if (w.barrier_generation_ != gen) break;
+        arrived = w.barrier_count_;
+      }
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "net: rank %d deadlocked at barrier: %zu of %d ranks "
+                    "arrived and every live rank is blocked",
+                    rank_, arrived, w.ranks_);
+      throw std::runtime_error(msg);
+    }
+  }
+  w.stats_[rank_].wait_seconds += seconds_since(t0);
+}
 
 CommStats Comm::stats() const { return world_->stats(rank_); }
 

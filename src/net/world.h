@@ -1,36 +1,58 @@
 // In-process message-passing substrate (the MPI stand-in for functional
 // multi-node tests).
 //
-// The distributed HPL in hpl/distributed.h runs its ranks as threads of one
-// process; they communicate exclusively through this World — tagged
-// point-to-point sends and receives with (source, tag) matching, plus a
-// barrier — mirroring the subset of MPI the real HPL uses. No shared state
-// crosses rank boundaries except through messages, so the functional tests
-// genuinely exercise the distribution logic.
+// The distributed HPL in hpl/distributed.h runs its ranks through this World
+// — tagged point-to-point sends and receives with (source, tag) matching,
+// plus a barrier — mirroring the subset of MPI the real HPL uses. No shared
+// state crosses rank boundaries except through messages, so the functional
+// tests genuinely exercise the distribution logic.
+//
+// Engine: ranks are NOT OS threads. Each rank is a resumable coroutine task
+// multiplexed over a bounded worker pool (net/sched.h), so a World(1024)
+// costs 1024 guard-paged lazily-committed stacks and mailbox structs — not
+// 1024 kernel threads — and OS thread count stays at
+// min(ranks, hardware_concurrency) unless set_workers() overrides it. A
+// rank blocked in recv/wait/barrier parks its task and frees the worker;
+// message delivery wakes it. The blocking semantics, FIFO-per-(src, tag)
+// ordering, CommStats accounting, timeout diagnostics, soft caps and fault
+// injection of the thread-per-rank engine are preserved (the conformance
+// suite in tests/net/conformance_test.cc pins them), with one upgrade: a
+// provably wedged World (every live rank parked, no timeout armed) now
+// raises a deadlock diagnostic in each blocked rank instead of hanging.
 //
 // On top of the blocking primitives sits a nonblocking layer (isend/irecv
-// returning waitable Request handles) and three collectives the pipelined
-// look-ahead and residual checks need:
+// returning waitable Request handles) and the collective family:
 //   - bcast:          binomial tree (latency-optimal for short messages);
 //   - ring_bcast:     segmented ring that pipelines long messages in
 //                     fixed-size chunks (bandwidth-optimal; the functional
 //                     twin of HPL's "increasing ring" panel broadcast);
+//   - bcast_auto:     size-adaptive dispatch between the two: payloads over
+//                     the World's crossover go through the segmented ring
+//                     when the group is big enough to pipeline, everything
+//                     else through the tree. All ranks must pass the same
+//                     size hint (collective choices must agree group-wide
+//                     without extra wire traffic). The crossover and ring
+//                     segment are tune knobs (tune::spaces::net()).
+//   - reduce:         binomial-tree reduction to a root (O(log P) messages
+//                     — the small-message complement of the ring family).
 //   - allreduce /     ring reduce-scatter (+ ring allgather), element-wise
-//     reduce_scatter: sum or max.
-// Every rank's traffic is metered (bytes, message counts, blocked-wait time,
-// mailbox high-water mark) so benches can report communication exposure.
+//     reduce_scatter: sum or max. Deliberately NOT size-adaptive: the ring
+//                     schedule pins the floating-point reduction order, and
+//                     bitwise reproducibility outranks latency here.
+// Every rank's traffic is metered (bytes, message counts, blocked-wait
+// time, mailbox high-water mark, tree/ring collective dispatch counts) so
+// benches can report communication exposure.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <vector>
-
-#include "util/barrier.h"
 
 namespace xphi::fault {
 class Injector;
@@ -40,13 +62,14 @@ namespace xphi::net {
 
 using Payload = std::vector<double>;
 
+class Sched;
 class World;
 
 /// Element-wise reduction operators for allreduce / reduce_scatter.
 enum class ReduceOp { kSum, kMax };
 
 /// Per-rank communication counters. A rank's own counters may be read from
-/// its own thread at any time (Comm::stats()); cross-rank reads are only
+/// its own task at any time (Comm::stats()); cross-rank reads are only
 /// well-defined after World::run returns.
 struct CommStats {
   std::size_t messages_sent = 0;
@@ -56,12 +79,16 @@ struct CommStats {
   double wait_seconds = 0;         // time blocked in recv / Request::wait
   std::size_t mailbox_high_water = 0;  // max messages ever queued at once
   std::size_t soft_cap_breaches = 0;   // deliveries past the soft cap
+  std::size_t tree_collectives = 0;  // bcast_auto calls dispatched to the tree
+  std::size_t ring_collectives = 0;  // ... and to the segmented ring
 };
 
 /// Waitable handle for a nonblocking operation. isend requests complete
 /// immediately (mailboxes buffer the payload, like MPI_Ibsend); irecv
 /// requests complete when a matching message is available. Copyable —
-/// copies share completion state.
+/// copies share completion state. test() doubles as a cooperative yield
+/// point: a failed probe reschedules the polling rank behind its peers, so
+/// a spin-on-test loop cannot starve the ranks it is waiting on.
 class Request {
  public:
   Request() = default;
@@ -69,7 +96,7 @@ class Request {
   bool valid() const noexcept { return state_ != nullptr; }
 
   /// Nonblocking completion probe; consumes the matching message if one is
-  /// already queued.
+  /// already queued. A failed probe yields the calling rank's task.
   bool test();
 
   /// Blocks until complete (honours the World's receive timeout).
@@ -93,9 +120,10 @@ class Comm {
   /// Sends `data` to `dst` with a tag. Never blocks (unbounded mailboxes).
   void send(int dst, int tag, Payload data);
 
-  /// Blocks until a message with (src, tag) arrives. Throws std::runtime_error
-  /// naming the blocked rank/tag if the World's receive timeout (if set)
-  /// expires first.
+  /// Blocks until a message with (src, tag) arrives. Throws
+  /// std::runtime_error naming the blocked rank/tag if the World's receive
+  /// timeout (if set) expires first — or immediately, with a deadlock
+  /// diagnostic, if the scheduler proves no peer can ever send it.
   Payload recv(int src, int tag);
 
   /// Nonblocking send: the payload is buffered at the destination
@@ -120,6 +148,27 @@ class Comm {
   /// serializing hop-by-hop. Payload-equal to bcast().
   Payload ring_bcast(int root, const std::vector<int>& group, Payload data,
                      int tag, std::size_t segment_doubles = 0);
+
+  /// Size-adaptive broadcast: dispatches to ring_bcast (segment = the
+  /// World's ring segment) when `size_hint_doubles` exceeds the World's
+  /// crossover AND the group has >= 3 ranks (a 2-rank ring cannot
+  /// pipeline), otherwise to the binomial tree. `size_hint_doubles` is the
+  /// broadcast payload length and MUST be identical on every rank of the
+  /// group — receivers do not yet hold the payload, and the algorithm
+  /// choice must agree group-wide without extra wire traffic. Callers
+  /// always know it (HPL's packet sizes are functions of the stage).
+  /// Payload-equal to bcast()/ring_bcast().
+  Payload bcast_auto(int root, const std::vector<int>& group, Payload data,
+                     int tag, std::size_t size_hint_doubles);
+
+  /// Binomial-tree reduction to `root` over `group`: O(log group) messages
+  /// per rank. All ranks pass equal-length vectors; `root` returns the
+  /// element-wise reduction, everyone else an empty payload. NOTE:
+  /// the tree changes the kSum accumulation order vs the ring allreduce —
+  /// use where the consumer tolerates summation-order differences (max is
+  /// exact either way).
+  Payload reduce(int root, const std::vector<int>& group, Payload data,
+                 int tag, ReduceOp op = ReduceOp::kSum);
 
   /// Ring allreduce (reduce-scatter + allgather) over `group`. All ranks
   /// must pass equal-length vectors; every rank returns the element-wise
@@ -149,13 +198,16 @@ class Comm {
 class World {
  public:
   explicit World(int ranks);
+  ~World();
 
   int size() const noexcept { return ranks_; }
 
-  /// Runs fn(comm) once per rank, each on its own thread; returns when all
-  /// ranks finish. If a rank throws, the exception is rethrown here after
-  /// all ranks complete — pair with set_recv_timeout so ranks blocked on a
-  /// failed peer's messages unblock diagnostically instead of hanging.
+  /// Runs fn(comm) once per rank as coroutine tasks over the worker pool;
+  /// returns when all ranks finish. If a rank throws, the first exception
+  /// (by rank index) is rethrown here after all ranks complete — ranks
+  /// blocked on a failed peer's messages unblock through the receive
+  /// timeout, or through the scheduler's deadlock detection when no
+  /// timeout is set.
   void run(const std::function<void(Comm&)>& fn);
 
   /// Receive timeout in seconds (0 = wait forever, the default). A recv or
@@ -171,6 +223,38 @@ class World {
     mailbox_soft_cap_ = max_queued;
   }
 
+  /// Worker OS threads the scheduler multiplexes rank tasks over (the
+  /// calling thread counts as one). 0 = automatic:
+  /// min(ranks, hardware_concurrency). Set before run().
+  void set_workers(int workers) { workers_ = workers; }
+
+  /// Worker threads the next run() will use (resolved value).
+  int workers() const;
+
+  /// Per-rank coroutine stack reservation in bytes (default 1 MiB;
+  /// committed lazily page by page). Set before run().
+  void set_stack_bytes(std::size_t bytes) { stack_bytes_ = bytes; }
+
+  /// bcast_auto crossover: size hints strictly greater than this (in
+  /// doubles) dispatch to the segmented ring when the group can pipeline.
+  /// Default 1024 doubles (8 KiB). SIZE_MAX = always tree, 0 = always ring
+  /// (for groups >= 3). Registered as tune knob "net_crossover_doubles".
+  void set_collective_crossover_doubles(std::size_t doubles) {
+    crossover_doubles_ = doubles;
+  }
+  std::size_t collective_crossover_doubles() const noexcept {
+    return crossover_doubles_;
+  }
+
+  /// Segment (in doubles) bcast_auto hands to ring_bcast (default 1024).
+  /// Registered as tune knob "net_ring_segment".
+  void set_ring_segment_doubles(std::size_t doubles) {
+    ring_segment_doubles_ = doubles;
+  }
+  std::size_t ring_segment_doubles() const noexcept {
+    return ring_segment_doubles_;
+  }
+
   /// Arms deterministic fault injection on message delivery (set before
   /// run()). Per-message faults from the Site::kNetMessage stream: kDelay
   /// stalls the sender by the configured latency; kDrop models a reliable
@@ -179,14 +263,15 @@ class World {
   /// its own, so an unreliable drop would just be the recv-timeout
   /// diagnostic). Scripted scenarios ride along: the configured slow rank
   /// stalls before every send, and the configured dead rank throws at its
-  /// Nth send — peers then surface the loss through set_recv_timeout.
+  /// Nth send — peers then surface the loss through set_recv_timeout or
+  /// the deadlock diagnostic.
   void set_fault_injector(fault::Injector* injector) { injector_ = injector; }
 
   /// Maximum number of messages ever queued at once in `rank`'s mailbox.
   std::size_t mailbox_high_water(int rank) const;
 
   /// Traffic counters for `rank`, including mailbox high-water mark.
-  /// Well-defined after run() returns (or from the rank's own thread).
+  /// Well-defined after run() returns (or from the rank's own task).
   CommStats stats(int rank) const;
 
  private:
@@ -195,28 +280,47 @@ class World {
 
   struct Mailbox {
     mutable std::mutex mu;
-    std::condition_variable cv;
     std::map<std::pair<int, int>, std::queue<Payload>> slots;  // (src, tag)
     std::size_t depth = 0;       // total queued messages
     std::size_t high_water = 0;
     std::size_t soft_cap_breaches = 0;
     bool cap_logged = false;
+    // The owning rank's parked receive, if any (a rank waits on at most one
+    // (src, tag) at a time). Senders wake the task on a match.
+    bool has_waiter = false;
+    int waiter_src = -1;
+    int waiter_tag = 0;
   };
 
   void deliver(int src, int dst, int tag, Payload data);
   Payload collect(int dst, int src, int tag);
   bool try_collect(int dst, int src, int tag, Payload* out);
   void apply_send_faults(int src);
+  void cooperative_yield();
+  [[noreturn]] void throw_blocked_diagnostic(int dst, int src, int tag,
+                                             bool deadlock);
 
   int ranks_;
   double recv_timeout_seconds_ = 0;
   std::size_t mailbox_soft_cap_ = 0;
+  int workers_ = 0;  // 0 = automatic
+  std::size_t stack_bytes_ = 1 << 20;
+  std::size_t crossover_doubles_ = 1024;
+  std::size_t ring_segment_doubles_ = 1024;
   fault::Injector* injector_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  // Indexed by rank; slot r is only written by rank r's thread (senders
-  // account bytes on their own slot), so no locking is needed.
+  // Indexed by rank; slot r is only written while rank r's task runs
+  // (senders account bytes on their own slot), so no locking is needed:
+  // task migration across workers synchronizes through the scheduler.
   std::vector<CommStats> stats_;
-  util::SpinBarrier barrier_;
+  // Cooperative barrier over all ranks (replaces the old SpinBarrier, which
+  // would wedge a pool smaller than the rank count).
+  std::mutex barrier_mu_;
+  std::size_t barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::vector<int> barrier_waiting_;
+  // Live only inside run().
+  Sched* sched_ = nullptr;
 };
 
 }  // namespace xphi::net

@@ -62,6 +62,12 @@ struct Knobs {
   std::size_t serve_cache_capacity = 0;   // 0 = server default (32)
   int serve_lane_weight = 0;              // 0 = server default (4)
   std::size_t serve_admission_queue = 0;  // 0 = server default (64)
+  // net::World size-adaptive collectives (World::set_collective_crossover_
+  // doubles / set_ring_segment_doubles): bcast_auto payloads above the
+  // crossover (in doubles) take the segmented ring, smaller ones the
+  // binomial tree; the segment is the ring's pipeline chunk.
+  std::size_t net_crossover_doubles = 0;  // 0 = World default (1024)
+  std::size_t net_ring_segment = 0;       // 0 = World default (1024)
 };
 
 /// Name/value pairs, one per *set* field — the encoded form a TuningDB entry
@@ -108,6 +114,12 @@ inline std::vector<std::pair<std::string, long long>> values_from_knobs(
   if (k.serve_admission_queue != 0)
     v.emplace_back("serve_admission_queue",
                    static_cast<long long>(k.serve_admission_queue));
+  if (k.net_crossover_doubles != 0)
+    v.emplace_back("net_crossover_doubles",
+                   static_cast<long long>(k.net_crossover_doubles));
+  if (k.net_ring_segment != 0)
+    v.emplace_back("net_ring_segment",
+                   static_cast<long long>(k.net_ring_segment));
   return v;
 }
 
@@ -157,6 +169,10 @@ inline Knobs knobs_from_values(
       k.serve_lane_weight = static_cast<int>(v);
     } else if (name == "serve_admission_queue") {
       k.serve_admission_queue = static_cast<std::size_t>(v);
+    } else if (name == "net_crossover_doubles") {
+      k.net_crossover_doubles = static_cast<std::size_t>(v);
+    } else if (name == "net_ring_segment") {
+      k.net_ring_segment = static_cast<std::size_t>(v);
     }
     // Unknown knob names: skip.
   }

@@ -142,6 +142,16 @@ SearchSpace serve() {
   return s;
 }
 
+SearchSpace net() {
+  SearchSpace s;
+  // Crossover in doubles: 8 KiB payloads (1024 doubles) is where a segmented
+  // ring's pipelining starts to amortize its extra hop latency on the
+  // simulated fabric; the sweep brackets it by ~4x in both directions.
+  s.add("net_crossover_doubles", {64, 256, 1024, 4096, 16384, 65536}, 1024);
+  s.add("net_ring_segment", {128, 512, 1024, 4096}, 1024);
+  return s;
+}
+
 std::vector<std::size_t> microkernel_seed(const SearchSpace& space) {
   const auto sel = blas::mk::select_kernel<double>(0);
   const auto& cpu = blas::mk::host_cpu_features();

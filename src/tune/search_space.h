@@ -86,6 +86,13 @@ SearchSpace microkernel();
 /// bound (serve::ServeConfig::apply consumes the tuned record).
 SearchSpace serve();
 
+/// net::World collective dispatch: the tree/ring crossover (payloads above
+/// it, in doubles, broadcast over the segmented ring; at or below it, the
+/// binomial tree) and the ring's pipeline segment. Both land on the World
+/// via set_collective_crossover_doubles / set_ring_segment_doubles (the
+/// distributed HPL driver forwards them from DistributedHplOptions).
+SearchSpace net();
+
 /// The analytic starting point for spaces::microkernel(): the dispatched
 /// kernel shape and blas/block_model.h's mc/kc/nc for the probed cache
 /// geometry, snapped onto the space's candidate grid. Feed it to

@@ -155,6 +155,8 @@ TEST(Knobs, EncodeDecodeRoundTrip) {
   k.pipeline_subsets = 8;
   k.panel_nb_min = 16;
   k.laswp_col_chunk = 512;
+  k.net_crossover_doubles = 4096;
+  k.net_ring_segment = 512;
   const Knobs back = knobs_from_values(values_from_knobs(k));
   EXPECT_EQ(back.mt, k.mt);
   EXPECT_EQ(back.nt, k.nt);
@@ -166,6 +168,8 @@ TEST(Knobs, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.pipeline_subsets, k.pipeline_subsets);
   EXPECT_EQ(back.panel_nb_min, k.panel_nb_min);
   EXPECT_EQ(back.laswp_col_chunk, k.laswp_col_chunk);
+  EXPECT_EQ(back.net_crossover_doubles, k.net_crossover_doubles);
+  EXPECT_EQ(back.net_ring_segment, k.net_ring_segment);
   // lookahead 0 (kNone) is a *set* value, distinct from the -1 default.
   Knobs none;
   none.lookahead = 0;
@@ -182,6 +186,15 @@ TEST(CanonicalSpaces, CoverTheDocumentedKnobs) {
   EXPECT_EQ(spaces::functional_offload().dims(), 3u);
   EXPECT_EQ(spaces::gemm_chunk().dims(), 1u);
   EXPECT_EQ(spaces::lookahead().dims(), 2u);
+  // Collective dispatch: crossover + ring segment, defaulted at the World's
+  // built-in constants so an unsearched space reproduces stock dispatch.
+  const SearchSpace ns = spaces::net();
+  ASSERT_EQ(ns.dims(), 2u);
+  EXPECT_EQ(ns.dim(0).name, "net_crossover_doubles");
+  EXPECT_EQ(ns.dim(1).name, "net_ring_segment");
+  const auto net_defaults = ns.values_at(ns.default_point());
+  EXPECT_EQ(net_defaults[0], 1024);
+  EXPECT_EQ(net_defaults[1], 1024);
   // Panel critical path: cutoff + LASWP chunk, defaulted at the kernel's
   // built-in constants so an unsearched space reproduces the stock kernels.
   const SearchSpace ps = spaces::panel();
