@@ -4,9 +4,11 @@
 # (-L net: the coroutine World, the engine-conformance suite, the chaos
 # harness, distributed HPL and the bench_scaling smoke gate), the
 # fault-injection chaos harness (-L fault), the autotuning subsystem
-# (-L tune), the panel critical-path kernels (-L panel) and the
-# micro-kernel registry (-L microkernel), then re-runs the microkernel,
-# serve and net suites under both ISA presets (XPHI_ARCH=native and the
+# (-L tune), the panel critical-path kernels (-L panel), the
+# micro-kernel registry (-L microkernel) and the HPCC workload suite
+# (-L hpcc: PTRANS/GUPS/STREAM/b_eff plus the bench_hpcc_all smoke gate),
+# then re-runs the microkernel,
+# serve, net and hpcc suites under both ISA presets (XPHI_ARCH=native and the
 # sse2 baseline, so every compiled dispatch tier is exercised) and repeats
 # the concurrency-bearing suites under ThreadSanitizer. Exits non-zero on
 # the first failure; CI-runnable.
@@ -40,6 +42,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L microkernel
 echo "== ctest -L serve =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L serve
 
+echo "== ctest -L hpcc =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L hpcc
+
 # The registry's bitwise-determinism contract is cross-preset: the same
 # sources built with -march=native and with the x86-64 baseline must
 # dispatch correctly and agree with gemm_ref bit for bit. Build the
@@ -47,14 +52,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L serve
 # rides along: its responses and decision hashes must also be preset-blind
 # (the dispatcher's virtual time never sees the ISA).
 for arch in native sse2; do
-  echo "== ctest -L microkernel + serve + net (XPHI_ARCH=$arch) =="
+  echo "== ctest -L microkernel + serve + net + hpcc (XPHI_ARCH=$arch) =="
   ARCH_DIR="${BUILD_DIR}-${arch}"
   cmake -B "$ARCH_DIR" -S . -DXPHI_ARCH="$arch" >/dev/null
   cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel test_serve bench_serve \
-    test_net test_net_conformance test_fault test_hpl bench_scaling
+    test_net test_net_conformance test_fault test_hpl test_hpcc bench_scaling bench_hpcc_all
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L microkernel
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L serve
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L net
+  ctest --test-dir "$ARCH_DIR" --output-on-failure -L hpcc
 done
 
 echo "== ThreadSanitizer =="

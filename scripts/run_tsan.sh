@@ -21,7 +21,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_net_conformance test_hpl test_fault test_tune test_serve bench_scaling
+  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_net_conformance test_hpl test_hpcc test_fault test_tune test_serve bench_scaling bench_hpcc_all
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
@@ -45,8 +45,14 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Solve server: real worker threads against the virtual-time dispatcher,
 # cache races under mixed traffic, chaos delays on the transport.
 "$BUILD_DIR/tests/test_serve" --gtest_filter='Server.*:ShardedLuCacheTest.*:ServeChaos.*'
+# HPCC workloads: PTRANS's pairwise all-to-all, GUPS's round-based remote
+# updates through the bounded queue, pooled STREAM, and the b_eff sweep —
+# every transport the suite touches, under the fiber-mapped scheduler.
+"$BUILD_DIR/tests/test_hpcc"
 # Weak-scaling smoke: real World fabric runs under TSan (park/wake and
 # deliver/collect handoffs across worker threads).
 "$BUILD_DIR/bench/bench_scaling" --smoke --out "$BUILD_DIR/BENCH_scaling_tsan.json"
+# HPCC composite smoke: all four workloads + the HPL point on one run.
+"$BUILD_DIR/bench/bench_hpcc_all" --smoke --out "$BUILD_DIR/BENCH_hpcc_tsan.json"
 
 echo "TSan: all monitored suites clean."

@@ -68,6 +68,12 @@ struct Knobs {
   // binomial tree; the segment is the ring's pipeline chunk.
   std::size_t net_crossover_doubles = 0;  // 0 = World default (1024)
   std::size_t net_ring_segment = 0;       // 0 = World default (1024)
+  // HPCC workload knobs (src/hpcc): PTRANS block-cyclic block size, GUPS
+  // batch coalescing and look-ahead window, STREAM parallel_for grain.
+  std::size_t ptrans_nb = 0;      // 0 = workload default (64)
+  std::size_t gups_batch = 0;     // 0 = workload default (1024)
+  std::size_t gups_lookahead = 0; // 0 = workload default (4)
+  std::size_t stream_chunk = 0;   // 0 = pool-adaptive grain
 };
 
 /// Name/value pairs, one per *set* field — the encoded form a TuningDB entry
@@ -120,6 +126,15 @@ inline std::vector<std::pair<std::string, long long>> values_from_knobs(
   if (k.net_ring_segment != 0)
     v.emplace_back("net_ring_segment",
                    static_cast<long long>(k.net_ring_segment));
+  if (k.ptrans_nb != 0)
+    v.emplace_back("ptrans_nb", static_cast<long long>(k.ptrans_nb));
+  if (k.gups_batch != 0)
+    v.emplace_back("gups_batch", static_cast<long long>(k.gups_batch));
+  if (k.gups_lookahead != 0)
+    v.emplace_back("gups_lookahead",
+                   static_cast<long long>(k.gups_lookahead));
+  if (k.stream_chunk != 0)
+    v.emplace_back("stream_chunk", static_cast<long long>(k.stream_chunk));
   return v;
 }
 
@@ -173,6 +188,14 @@ inline Knobs knobs_from_values(
       k.net_crossover_doubles = static_cast<std::size_t>(v);
     } else if (name == "net_ring_segment") {
       k.net_ring_segment = static_cast<std::size_t>(v);
+    } else if (name == "ptrans_nb") {
+      k.ptrans_nb = static_cast<std::size_t>(v);
+    } else if (name == "gups_batch") {
+      k.gups_batch = static_cast<std::size_t>(v);
+    } else if (name == "gups_lookahead") {
+      k.gups_lookahead = static_cast<std::size_t>(v);
+    } else if (name == "stream_chunk") {
+      k.stream_chunk = static_cast<std::size_t>(v);
     }
     // Unknown knob names: skip.
   }

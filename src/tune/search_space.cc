@@ -152,6 +152,28 @@ SearchSpace net() {
   return s;
 }
 
+SearchSpace ptrans() {
+  SearchSpace s;
+  s.add("ptrans_nb", {16, 32, 64, 128, 256}, 64);
+  return s;
+}
+
+SearchSpace gups() {
+  SearchSpace s;
+  s.add("gups_batch", {64, 256, 1024, 4096, 16384}, 1024);
+  s.add("gups_lookahead", {1, 2, 4, 8, 16}, 4);
+  return s;
+}
+
+SearchSpace stream() {
+  SearchSpace s;
+  // Grain in elements; the low end exposes claiming overhead, the high end
+  // load imbalance. 0 (pool-adaptive) is deliberately absent: the adaptive
+  // default is the baseline the tuned value must beat.
+  s.add("stream_chunk", {4096, 16384, 65536, 262144, 1048576}, 65536);
+  return s;
+}
+
 std::vector<std::size_t> microkernel_seed(const SearchSpace& space) {
   const auto sel = blas::mk::select_kernel<double>(0);
   const auto& cpu = blas::mk::host_cpu_features();

@@ -93,6 +93,16 @@ SearchSpace serve();
 /// distributed HPL driver forwards them from DistributedHplOptions).
 SearchSpace net();
 
+/// HPCC PTRANS: the block-cyclic block size of the transpose exchange.
+SearchSpace ptrans();
+
+/// HPCC GUPS / RandomAccess: per-destination batch coalescing and the
+/// rounds-ahead look-ahead window (also the local update-queue depth).
+SearchSpace gups();
+
+/// HPCC STREAM: the ThreadPool parallel_for claiming grain in elements.
+SearchSpace stream();
+
 /// The analytic starting point for spaces::microkernel(): the dispatched
 /// kernel shape and blas/block_model.h's mc/kc/nc for the probed cache
 /// geometry, snapped onto the space's candidate grid. Feed it to

@@ -1,0 +1,105 @@
+// HPCC workloads under deterministic net-message chaos: delayed and dropped
+// (reliable-transport retransmitted) messages may bend the schedule but must
+// not change a single bit of the results.
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "hpcc/gups.h"
+#include "hpcc/ptrans.h"
+#include "util/matrix.h"
+
+namespace xphi {
+namespace {
+
+using fault::Action;
+using fault::Injector;
+using fault::InjectorConfig;
+using fault::Site;
+using hpl::Grid;
+
+InjectorConfig net_chaos(std::uint64_t seed) {
+  InjectorConfig fc;
+  fc.seed = seed;
+  fc.net = {.delay = 0.25, .drop = 0.15, .delay_us = 80};
+  return fc;
+}
+
+TEST(HpccChaos, PtransDelayAndDropBitwiseIdentical) {
+  hpcc::PtransOptions opt;
+  opt.nb = 16;
+  const auto clean = hpcc::run_ptrans(70, Grid{2, 3}, 17, opt);
+  ASSERT_TRUE(clean.ok);
+
+  Injector inj(net_chaos(4));
+  hpcc::PtransOptions faulted_opt = opt;
+  faulted_opt.injector = &inj;
+  const auto faulted = hpcc::run_ptrans(70, Grid{2, 3}, 17, faulted_opt);
+
+  ASSERT_TRUE(faulted.ok);
+  EXPECT_GT(inj.count(Site::kNetMessage, Action::kDelay) +
+                inj.count(Site::kNetMessage, Action::kDrop),
+            0u);
+  EXPECT_EQ(faulted.residual, 0.0);
+  EXPECT_EQ(faulted.checksum, clean.checksum);
+  EXPECT_EQ(util::max_abs_diff<double>(faulted.a.view(), clean.a.view()), 0.0);
+}
+
+TEST(HpccChaos, PtransSlowRankBitwiseIdentical) {
+  hpcc::PtransOptions opt;
+  opt.nb = 16;
+  const auto clean = hpcc::run_ptrans(48, Grid{2, 2}, 23, opt);
+  ASSERT_TRUE(clean.ok);
+
+  InjectorConfig fc;
+  fc.seed = 6;
+  fc.slow_rank = 1;
+  fc.slow_rank_us = 150;
+  Injector inj(fc);
+  hpcc::PtransOptions faulted_opt = opt;
+  faulted_opt.injector = &inj;
+  const auto faulted = hpcc::run_ptrans(48, Grid{2, 2}, 23, faulted_opt);
+
+  ASSERT_TRUE(faulted.ok);
+  EXPECT_EQ(util::max_abs_diff<double>(faulted.a.view(), clean.a.view()), 0.0);
+}
+
+TEST(HpccChaos, GupsDelayAndDropBitwiseIdentical) {
+  hpcc::GupsOptions opt;
+  opt.table_bits = 10;
+  const auto clean = hpcc::run_gups(4, 31, opt);
+  ASSERT_TRUE(clean.ok);
+
+  Injector inj(net_chaos(8));
+  hpcc::GupsOptions faulted_opt = opt;
+  faulted_opt.injector = &inj;
+  const auto faulted = hpcc::run_gups(4, 31, faulted_opt);
+
+  ASSERT_TRUE(faulted.ok);
+  EXPECT_GT(inj.count(Site::kNetMessage, Action::kDelay) +
+                inj.count(Site::kNetMessage, Action::kDrop),
+            0u);
+  EXPECT_EQ(faulted.error_rate, 0.0);
+  EXPECT_EQ(faulted.table_fnv, clean.table_fnv);
+}
+
+TEST(HpccChaos, GupsChaosInvariantAcrossLookahead) {
+  // Faults + a different look-ahead window at once: the table bits must
+  // still match the clean default-window run.
+  hpcc::GupsOptions opt;
+  opt.table_bits = 10;
+  const auto clean = hpcc::run_gups(3, 37, opt);
+  ASSERT_TRUE(clean.ok);
+
+  Injector inj(net_chaos(12));
+  hpcc::GupsOptions faulted_opt = opt;
+  faulted_opt.lookahead = 2;
+  faulted_opt.batch = 128;
+  faulted_opt.injector = &inj;
+  const auto faulted = hpcc::run_gups(3, 37, faulted_opt);
+
+  ASSERT_TRUE(faulted.ok);
+  EXPECT_EQ(faulted.table_fnv, clean.table_fnv);
+}
+
+}  // namespace
+}  // namespace xphi
