@@ -1,0 +1,263 @@
+// Mixed-precision HPL payoff bench: fp64 blocked LU vs the fp32-factor +
+// fp64-iterative-refinement solver (hpl/mixed.h) on the same seeded systems.
+//
+// Reports, per problem size, the factor-stage wall clock of both paths, the
+// end-to-end solve wall clock, the refinement iteration count and the final
+// scaled residual — and enforces the two contracts of the mixed path:
+//
+//   1. Correctness is NOT relaxed: every mixed solve must pass the standard
+//      fp64 scaled-residual gate (blas::kHplResidualThreshold), the same one
+//      fp64 HPL is held to. Any failure exits nonzero, smoke or full.
+//   2. The speed is real: on full runs the fp32 factor stage must beat the
+//      fp64 factorization by >= 1.5x at every n >= 1024 (the fp32 tables run
+//      ~2x the fp64 flop rate; 1.5x leaves headroom for the demotion copy).
+//      Smoke shapes are too small to time, so the speed gate arms on full
+//      runs only — the residual gate always arms.
+//
+// A 2x2-grid distributed point runs both precisions through
+// hpl::run_distributed_hpl: the residual gate and the fp64/fp32 factor
+// cross-check are asserted, wall clock is reported unguarded (the in-process
+// fabric dominates at functional sizes).
+//
+// Flags:
+//   --out PATH   JSON artifact            [BENCH_mixed.json]
+//   --reps N     best-of-N timing reps    [3 full, 1 smoke]
+//   --smoke      tiny shapes (the ctest gate)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blas/getrf.h"
+#include "blas/lu_kernels.h"
+#include "blas/residual.h"
+#include "hpl/distributed.h"
+#include "hpl/mixed.h"
+#include "json_out.h"
+#include "util/flops.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace xphi;
+
+struct Options {
+  bool smoke = false;
+  int reps = 0;  // 0 = mode default
+  std::string out = "BENCH_mixed.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--out") {
+      o.out = next();
+    } else if (a == "--reps") {
+      o.reps = std::atoi(next());
+    } else if (a == "--smoke") {
+      o.smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_mixed [--out PATH] [--reps N] [--smoke]\n");
+      std::exit(a == "--help" ? 0 : 2);
+    }
+  }
+  if (o.reps <= 0) o.reps = o.smoke ? 1 : 3;
+  return o;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::size_t n = 0;
+  double fp64_factor_s = 0;
+  double fp64_total_s = 0;
+  double fp64_residual = 0;
+  double mixed_factor_s = 0;
+  double mixed_total_s = 0;
+  double mixed_residual = 0;
+  int refine_iters = 0;
+  bool mixed_ok = false;
+};
+
+/// Best-of-reps fp64 reference: blocked LU + triangular solve, same pool and
+/// panel width as the mixed path so the comparison is driver-vs-driver, not
+/// config-vs-config.
+Row run_shared(std::size_t n, std::size_t nb, int reps,
+               util::ThreadPool* pool) {
+  Row row;
+  row.n = n;
+  util::Matrix<double> a0(n, n);
+  util::fill_hpl_matrix(a0.view(), 42);
+  std::vector<double> b(n);
+  util::Rng brng(42 ^ 0xb0b);
+  for (auto& v : b) v = brng.next_centered();
+
+  row.fp64_factor_s = row.fp64_total_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    util::Matrix<double> a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      std::memcpy(a.data() + r * a.ld(), a0.data() + r * a0.ld(),
+                  n * sizeof(double));
+    std::vector<std::size_t> ipiv(n);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!blas::getrf_blocked<double>(a.view(), ipiv, nb, pool)) {
+      std::fprintf(stderr, "fp64 factorization hit a zero pivot at n=%zu\n", n);
+      std::exit(1);
+    }
+    const double factor_s = seconds_since(t0);
+    std::vector<double> x = b;
+    blas::lu_solve_vector<double>(a.view(), ipiv, x);
+    const double total_s = seconds_since(t0);
+    if (factor_s < row.fp64_factor_s) row.fp64_factor_s = factor_s;
+    if (total_s < row.fp64_total_s) row.fp64_total_s = total_s;
+    if (rep == 0)
+      row.fp64_residual = blas::hpl_residual<double>(a0.view(), x, b);
+  }
+
+  hpl::MixedOptions mo;
+  mo.nb = nb;
+  mo.pool = pool;
+  row.mixed_factor_s = row.mixed_total_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const hpl::MixedSolveResult res = hpl::solve_mixed(a0.view(), b, mo);
+    const double total_s = res.factor_seconds + res.refine_seconds;
+    if (res.factor_seconds < row.mixed_factor_s)
+      row.mixed_factor_s = res.factor_seconds;
+    if (total_s < row.mixed_total_s) row.mixed_total_s = total_s;
+    if (rep == 0) {
+      row.mixed_residual = res.residual;
+      row.refine_iters = res.iterations;
+      row.mixed_ok = res.ok;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const std::vector<std::size_t> shapes =
+      opt.smoke ? std::vector<std::size_t>{128, 256}
+                : std::vector<std::size_t>{512, 1024, 2048};
+  const std::size_t nb = opt.smoke ? 32 : 64;
+  util::ThreadPool pool(3);
+
+  std::printf("Mixed-precision HPL: fp32 factor + fp64 refinement vs fp64%s\n\n",
+              opt.smoke ? " (smoke)" : "");
+
+  std::vector<Row> rows;
+  for (std::size_t n : shapes) rows.push_back(run_shared(n, nb, opt.reps, &pool));
+
+  util::Table table({"n", "fp64 factor s", "fp32 factor s", "factor speedup",
+                     "fp64 solve s", "mixed solve s", "solve speedup", "iters",
+                     "residual"});
+  std::vector<bench::JsonRecord> records;
+  for (const Row& r : rows) {
+    const double fspeed = r.fp64_factor_s / r.mixed_factor_s;
+    const double tspeed = r.fp64_total_s / r.mixed_total_s;
+    table.add_row({util::Table::fmt(r.n), util::Table::fmt(r.fp64_factor_s, 4),
+                   util::Table::fmt(r.mixed_factor_s, 4),
+                   util::Table::fmt(fspeed, 2),
+                   util::Table::fmt(r.fp64_total_s, 4),
+                   util::Table::fmt(r.mixed_total_s, 4),
+                   util::Table::fmt(tspeed, 2), util::Table::fmt(r.refine_iters),
+                   util::Table::fmt(r.mixed_residual, 3)});
+    records.push_back(bench::JsonRecord{}
+                          .str("op", "shared")
+                          .num("n", static_cast<double>(r.n))
+                          .num("fp64_factor_s", r.fp64_factor_s)
+                          .num("mixed_factor_s", r.mixed_factor_s)
+                          .num("factor_speedup", fspeed)
+                          .num("fp64_total_s", r.fp64_total_s)
+                          .num("mixed_total_s", r.mixed_total_s)
+                          .num("total_speedup", tspeed)
+                          .num("refine_iterations", r.refine_iters)
+                          .num("fp64_residual", r.fp64_residual)
+                          .num("mixed_residual", r.mixed_residual));
+  }
+  table.print();
+
+  // --- Distributed 2x2 point: both precisions through the real fabric. ----
+  const std::size_t dist_n = opt.smoke ? 128 : 512;
+  const std::size_t dist_nb = opt.smoke ? 32 : 64;
+  double dist_fp64_s = 0, dist_mixed_s = 0;
+  hpl::DistributedHplResult dist_fp64, dist_mixed;
+  {
+    hpl::DistributedHplOptions dopt;
+    auto t0 = std::chrono::steady_clock::now();
+    dist_fp64 = hpl::run_distributed_hpl(dist_n, dist_nb, {2, 2}, 42, dopt);
+    dist_fp64_s = seconds_since(t0);
+    dopt.precision = hpl::Precision::kMixed;
+    t0 = std::chrono::steady_clock::now();
+    dist_mixed = hpl::run_distributed_hpl(dist_n, dist_nb, {2, 2}, 42, dopt);
+    dist_mixed_s = seconds_since(t0);
+  }
+  std::printf(
+      "\ndistributed 2x2 n=%zu: fp64 %.4fs residual %.3g | mixed %.4fs "
+      "residual %.3g iters %d\n",
+      dist_n, dist_fp64_s, dist_fp64.residual, dist_mixed_s,
+      dist_mixed.residual, dist_mixed.refine_iterations);
+  records.push_back(bench::JsonRecord{}
+                        .str("op", "distributed_2x2")
+                        .num("n", static_cast<double>(dist_n))
+                        .num("fp64_wall_s", dist_fp64_s)
+                        .num("mixed_wall_s", dist_mixed_s)
+                        .num("fp64_residual", dist_fp64.residual)
+                        .num("mixed_residual", dist_mixed.residual)
+                        .num("refine_iterations",
+                             static_cast<double>(dist_mixed.refine_iterations)));
+
+  if (bench::write_json(opt.out, "mixed", records))
+    std::printf("\nWrote %s.\n", opt.out.c_str());
+  else
+    std::fprintf(stderr, "warning: could not write %s\n", opt.out.c_str());
+
+  // --- Gates. -------------------------------------------------------------
+  // Residual: every mixed solve, shared or distributed, must pass the
+  // unrelaxed fp64 gate. Always armed.
+  int failures = 0;
+  for (const Row& r : rows) {
+    if (!r.mixed_ok || r.mixed_residual >= blas::kHplResidualThreshold) {
+      std::fprintf(stderr,
+                   "GATE: mixed solve at n=%zu failed the residual gate "
+                   "(%.4g, threshold %.4g)\n",
+                   r.n, r.mixed_residual, blas::kHplResidualThreshold);
+      ++failures;
+    }
+  }
+  if (!dist_fp64.ok || !dist_mixed.ok ||
+      dist_mixed.residual >= blas::kHplResidualThreshold) {
+    std::fprintf(stderr,
+                 "GATE: distributed point failed (fp64 ok=%d, mixed ok=%d, "
+                 "mixed residual %.4g)\n",
+                 dist_fp64.ok ? 1 : 0, dist_mixed.ok ? 1 : 0,
+                 dist_mixed.residual);
+    ++failures;
+  }
+  // Speed: full runs only (smoke shapes are noise).
+  if (!opt.smoke) {
+    for (const Row& r : rows) {
+      if (r.n < 1024) continue;
+      const double fspeed = r.fp64_factor_s / r.mixed_factor_s;
+      if (fspeed < 1.5) {
+        std::fprintf(stderr,
+                     "GATE: factor-stage speedup %.3gx at n=%zu is below the "
+                     "1.5x contract\n",
+                     fspeed, r.n);
+        ++failures;
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 
 #include "blas/lu_kernels.h"
 #include "core/hybrid_hpl.h"
+#include "hpl/mixed.h"
 #include "core/offload_dgemm.h"
 #include "core/offload_functional.h"
 #include "hpcc/beff.h"
@@ -445,6 +446,42 @@ int main(int argc, char** argv) {
         microkernel_default_evals, so.budget, microkernel_model_evals,
         mso.budget);
     rows.push_back(std::move(mrow));
+  }
+
+  // --- Mixed-precision HPL: wall-clock end-to-end solve. -----------------
+  // Searches the fp32 panel width (mixed_nb) and the micro-kernel shape the
+  // fp32 GEMM dispatches, seeded at the solver defaults (nb=64, auto
+  // dispatch) so "default" is exactly what solve_mixed does untuned. The
+  // oracle is the full solve (demote + fp32 factor + refinement), so a
+  // candidate that speeds the factor but stalls refinement cannot win.
+  {
+    const std::size_t n = opt.smoke ? 128 : 512;
+    util::ThreadPool pool(3);
+    const tune::SearchSpace space = tune::spaces::mixed();
+    const tune::ShapeBucket shape = tune::bucket(n, n, 64);
+    OpRow row{.op = "mixed_hpl", .shape_n = n, .bucket = shape.key(),
+              .flops = util::linpack_flops(n)};
+    tune::SearchOptions so = search;
+    so.start = {space.nearest_index(0, 64), space.nearest_index(1, 0)};
+    if (opt.smoke && so.budget > 3) so.budget = 3;
+    row.result = tuner.tune(
+        row.op, shape, space,
+        [&](const std::vector<long long>& v) {
+          hpl::MixedOptions mo;
+          mo.nb = static_cast<std::size_t>(v[0]);
+          mo.microkernel = static_cast<int>(v[1]);
+          mo.pool = &pool;
+          const auto t0 = std::chrono::steady_clock::now();
+          const hpl::MixedSolveResult r = hpl::solve_mixed_seeded(n, 42, mo);
+          const std::chrono::duration<double> dt =
+              std::chrono::steady_clock::now() - t0;
+          // A diverging candidate must never win on speed.
+          if (!r.ok) return 1e9;
+          return dt.count() > 1e-9 ? dt.count() : 1e-9;
+        },
+        so);
+    row.knobs = knob_string(space, row.result.best);
+    rows.push_back(std::move(row));
   }
 
   // --- net collective dispatch: the fourth *measured* op, b_eff-seeded. --

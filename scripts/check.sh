@@ -39,6 +39,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L panel
 echo "== ctest -L microkernel =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L microkernel
 
+echo "== ctest -L mixed =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L mixed
+
 echo "== ctest -L serve =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L serve
 
@@ -50,14 +53,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L hpcc
 # dispatch correctly and agree with gemm_ref bit for bit. Build the
 # microkernel suite under both presets and run it in each. The serve suite
 # rides along: its responses and decision hashes must also be preset-blind
-# (the dispatcher's virtual time never sees the ISA).
+# (the dispatcher's virtual time never sees the ISA). The mixed-precision
+# suite runs in both too — the fp32 tables have their own per-ISA variants
+# and the refinement trace must be preset-blind at each dispatch tier.
 for arch in native sse2; do
-  echo "== ctest -L microkernel + serve + net + hpcc (XPHI_ARCH=$arch) =="
+  echo "== ctest -L microkernel + mixed + serve + net + hpcc (XPHI_ARCH=$arch) =="
   ARCH_DIR="${BUILD_DIR}-${arch}"
   cmake -B "$ARCH_DIR" -S . -DXPHI_ARCH="$arch" >/dev/null
-  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel test_serve bench_serve \
-    test_net test_net_conformance test_fault test_hpl test_hpcc bench_scaling bench_hpcc_all
+  cmake --build "$ARCH_DIR" -j"$(nproc)" --target test_microkernel test_mixed test_serve bench_serve \
+    test_net test_net_conformance test_fault test_hpl test_hpcc bench_scaling bench_hpcc_all bench_mixed
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L microkernel
+  ctest --test-dir "$ARCH_DIR" --output-on-failure -L mixed
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L serve
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L net
   ctest --test-dir "$ARCH_DIR" --output-on-failure -L hpcc

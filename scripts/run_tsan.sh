@@ -21,7 +21,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DXPHI_SANITIZE=thread -DCMAKE_BUILD_TYPE= \
   >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_net_conformance test_hpl test_hpcc test_fault test_tune test_serve bench_scaling bench_hpcc_all
+  --target test_util test_blas test_panel test_microkernel test_lu test_core test_net test_net_conformance test_hpl test_mixed test_hpcc test_fault test_tune test_serve bench_scaling bench_hpcc_all
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/test_util" --gtest_filter='ThreadPool*:SpinBarrier*'
@@ -38,6 +38,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # them through the TSan fiber API; a missed fiber switch reports here).
 "$BUILD_DIR/tests/test_net_conformance"
 "$BUILD_DIR/tests/test_hpl" --gtest_filter='DistributedHpl.Lookahead*:DistributedHpl.Pipelined*:DistributedHpl.CommStats*:DistributedHpl.DistributedResidual*'
+# Mixed precision: fp32 DAG factorization, the distributed refinement loop
+# on coroutine ranks, and the chaos cases (net faults + dead offload card
+# mid-factor) — refinement-trace determinism under real thread interleaving.
+"$BUILD_DIR/tests/test_mixed"
 "$BUILD_DIR/tests/test_fault"  # injector determinism + the whole chaos harness
 # Tuned knobs feed the threaded offload engine and the DAG LU executor: the
 # consumer-integration tests re-run those engines with DB-supplied knobs.

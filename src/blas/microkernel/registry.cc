@@ -1,6 +1,7 @@
 #include "blas/microkernel/registry.h"
 
 #include <cstdlib>
+#include <type_traits>
 
 namespace xphi::blas::mk {
 
@@ -24,18 +25,30 @@ Isa host_max_isa() {
   return Isa::kGeneric;
 }
 
-/// Preferred shape id per ISA tier: the shape whose accumulator block fills
-/// that tier's register file (see kernels_decl.h).
+/// Preferred shape id per (type, ISA tier). fp64: the shape whose
+/// accumulator block fills the tier's register file (see kernels_decl.h).
+/// fp32 prefers 4x8 at every tier: an Nr=8 float row is a single 256-bit
+/// vector regardless of ISA width, so the tall blocks (6x8, 8x8) gain no
+/// vector lanes — they only deepen the per-element mul+add dependency
+/// chains, which stall badly with contraction off (-ffp-contract=off, the
+/// determinism contract). The short 4x8 block keeps the chains dual-issued
+/// and runs ~2x the fp64 flop rate, which is the mixed-precision premise.
+template <class T>
 int preferred_shape_id(Isa isa) {
-  switch (isa) {
-    case Isa::kAvx512:
-      return 808;
-    case Isa::kAvx2:
-      return 608;
-    case Isa::kGeneric:
-      break;
+  if constexpr (std::is_same_v<T, float>) {
+    (void)isa;
+    return 408;
+  } else {
+    switch (isa) {
+      case Isa::kAvx512:
+        return 808;
+      case Isa::kAvx2:
+        return 608;
+      case Isa::kGeneric:
+        break;
+    }
+    return 308;
   }
-  return 308;
 }
 
 template <class T>
@@ -118,7 +131,7 @@ template <class T>
 std::optional<Selection<T>> resolve_spec(const ParsedSpec& p) {
   if (!p.ok || registry<T>().empty()) return std::nullopt;
   const Isa cap = p.capped ? p.cap : host_max_isa();
-  const int id = p.shape_id != 0 ? p.shape_id : preferred_shape_id(cap);
+  const int id = p.shape_id != 0 ? p.shape_id : preferred_shape_id<T>(cap);
   const Kernel<T>* k = find_shape<T>(id);
   if (k == nullptr) return std::nullopt;
   Selection<T> s = resolve_variant<T>(k, cap);
@@ -162,7 +175,7 @@ Selection<T> select_kernel_impl(int id) {
   }
   const Isa cap = host_max_isa();
   const Kernel<T>* k = id != 0 ? find_shape<T>(id) : nullptr;
-  if (k == nullptr) k = find_shape<T>(preferred_shape_id(cap));
+  if (k == nullptr) k = find_shape<T>(preferred_shape_id<T>(cap));
   return resolve_variant<T>(k, cap);
 }
 

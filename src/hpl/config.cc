@@ -114,6 +114,10 @@ ParseResult parse_run_config(const std::string& text) {
         cfg.scheme = core::Lookahead::kPipelined;
       else
         return fail("bad scheme '" + v + "'");
+    } else if (key == "precision") {
+      const auto p = parse_precision(values[0]);
+      if (!p) return fail("bad precision '" + values[0] + "' (want fp64|mixed)");
+      cfg.precision = *p;
     } else if (key == "memory") {
       std::size_t m;
       if (!parse_size(values[0], m) || m == 0)

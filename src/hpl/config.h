@@ -12,6 +12,7 @@
 //   cards:     0 1 2
 //   scheme:    pipelined       # none | basic | pipelined
 //   memory:    64              # GiB per node
+//   precision: mixed           # fp64 | mixed (fp32 factor + fp64 refine)
 #pragma once
 
 #include <cstddef>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "core/hybrid_hpl.h"
+#include "hpl/precision.h"
 
 namespace xphi::hpl {
 
@@ -29,6 +31,9 @@ struct RunConfig {
   std::vector<int> cards = {1};
   core::Lookahead scheme = core::Lookahead::kPipelined;
   std::size_t memory_gib = 64;
+  /// Precision::kMixed runs fp32 factorization + fp64 iterative refinement
+  /// (DistributedHplOptions::precision); the residual gate is unchanged.
+  Precision precision = Precision::kFp64;
 
   /// All (n, nb, grid, cards) combinations, HPL-style.
   std::size_t combinations() const {

@@ -6,10 +6,12 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <type_traits>
 
 #include "blas/gemm_tiled.h"
 #include "blas/lu_kernels.h"
 #include "blas/residual.h"
+#include "hpl/mixed.h"
 #include "net/world.h"
 #include "trace/timeline.h"
 #include "util/rng.h"
@@ -41,12 +43,18 @@ struct ColSpan {
   std::size_t g0 = 0, g1 = 0;
 };
 
+// Every stage below is templated on the local scalar type T. All payloads
+// stay std::vector<double>: a float widens to double exactly, so packing T
+// values as doubles and narrowing on receipt is a bit-exact transport for
+// T = float, and for T = double every cast is the identity — the fp64 path
+// is instruction-for-instruction the pre-template code.
+template <class T>
 struct RankContext {
   const BlockCyclic* dist = nullptr;
   Comm* comm = nullptr;
   const DistributedHplOptions* options = nullptr;
   int prow = 0, pcol = 0;
-  Matrix<double> local;  // local block-cyclic share, row-major
+  Matrix<T> local;  // local block-cyclic share, row-major
   std::chrono::steady_clock::time_point epoch;
   std::vector<trace::Span>* spans = nullptr;  // this rank's lane (optional)
 
@@ -78,8 +86,9 @@ struct RankContext {
 };
 
 /// Local column intervals [lo, hi) covered by the global ranges, in order.
+template <class T>
 std::vector<std::pair<std::size_t, std::size_t>> local_intervals(
-    const RankContext& ctx, const std::vector<ColSpan>& ranges) {
+    const RankContext<T>& ctx, const std::vector<ColSpan>& ranges) {
   std::vector<std::pair<std::size_t, std::size_t>> iv;
   for (const ColSpan& r : ranges) {
     const std::size_t lo = ctx.local_col_lower_bound(r.g0);
@@ -89,9 +98,22 @@ std::vector<std::pair<std::size_t, std::size_t>> local_intervals(
   return iv;
 }
 
+/// The stage's pw x pw diagonal block of the broadcast packet, narrowed to
+/// the local scalar (identity copy for T = double; values only, the TRSM
+/// reads it immutably).
+template <class T>
+Matrix<T> l11_from_packet(const double* panel_data, std::size_t pw) {
+  Matrix<T> l11(pw, pw);
+  for (std::size_t r = 0; r < pw; ++r)
+    for (std::size_t c = 0; c < pw; ++c)
+      l11(r, c) = static_cast<T>(panel_data[r * pw + c]);
+  return l11;
+}
+
 /// Packs this rank's rows with global index >= k0 of the pw panel columns:
 /// [count, (global_row, pw values)...].
-Payload pack_panel_rows(const RankContext& ctx, std::size_t k0,
+template <class T>
+Payload pack_panel_rows(const RankContext<T>& ctx, std::size_t k0,
                         std::size_t pw) {
   const BlockCyclic& dist = *ctx.dist;
   const std::size_t lc0 = ctx.local_col_lower_bound(k0);
@@ -101,15 +123,18 @@ Payload pack_panel_rows(const RankContext& ctx, std::size_t k0,
   for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
     mine.push_back(static_cast<double>(dist.global_row(ctx.prow, lr)));
     for (std::size_t c = 0; c < pw; ++c)
-      mine.push_back(ctx.local(lr, lc0 + c));
+      mine.push_back(static_cast<double>(ctx.local(lr, lc0 + c)));
   }
   return mine;
 }
 
 /// Root only: assembles the gathered panel rows for stage bk (own message
-/// plus one per other process row of the panel column), factors it, and
-/// builds the broadcast packet [pw absolute pivots | (n-k0) x pw factors].
-Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
+/// plus one per other process row of the panel column), factors it in the
+/// local scalar, and builds the broadcast packet
+/// [pw absolute pivots | (n-k0) x pw factors].
+template <class T>
+Payload assemble_and_factor(RankContext<T>& ctx, std::size_t bk,
+                            Payload mine) {
   const BlockCyclic& dist = *ctx.dist;
   Comm& comm = *ctx.comm;
   const Grid& grid = dist.grid();
@@ -120,13 +145,14 @@ Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
   const int pc = static_cast<int>(bk % grid.q);
   const int gather_tag = static_cast<int>(bk) * kTagStride + kTagPanelGather;
 
-  Payload assembled((n - k0) * pw, 0.0);
+  std::vector<T> assembled((n - k0) * pw, T(0));
   auto unpack = [&](const Payload& msg) {
     std::size_t pos = 0;
     const std::size_t count = static_cast<std::size_t>(msg[pos++]);
     for (std::size_t r = 0; r < count; ++r) {
       const std::size_t g = static_cast<std::size_t>(msg[pos++]);
-      std::copy_n(&msg[pos], pw, &assembled[(g - k0) * pw]);
+      for (std::size_t c = 0; c < pw; ++c)
+        assembled[(g - k0) * pw + c] = static_cast<T>(msg[pos + c]);
       pos += pw;
     }
   };
@@ -140,7 +166,7 @@ Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
   ctx.record(SpanKind::kBroadcast, t_gather);
 
   const double t_factor = ctx.now();
-  MatrixView<double> panel(assembled.data(), n - k0, pw, pw);
+  MatrixView<T> panel(assembled.data(), n - k0, pw, pw);
   std::vector<std::size_t> piv(pw);
   blas::PanelOptions popt;
   if (ctx.options != nullptr) {
@@ -148,7 +174,7 @@ Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
     popt.laswp_col_chunk = ctx.options->laswp_col_chunk;
     popt.microkernel = ctx.options->microkernel;
   }
-  const bool ok = blas::getrf_panel<double>(panel, piv, popt);
+  const bool ok = blas::getrf_panel<T>(panel, piv, popt);
   assert(ok && "singular panel in distributed HPL");
   (void)ok;
   ctx.record(SpanKind::kPanelFactor, t_factor);
@@ -157,14 +183,15 @@ Payload assemble_and_factor(RankContext& ctx, std::size_t bk, Payload mine) {
   packet.reserve(pw + assembled.size());
   for (std::size_t t = 0; t < pw; ++t)
     packet.push_back(static_cast<double>(piv[t] + k0));  // absolute global
-  packet.insert(packet.end(), assembled.begin(), assembled.end());
+  for (const T v : assembled) packet.push_back(static_cast<double>(v));
   return packet;
 }
 
 /// Blocking panel production for stage bk (the kNone path and stage 0 of
 /// the look-ahead schemes): gather to the stage root, factor there, and
 /// binomial-broadcast the packet to every rank.
-Payload produce_packet_blocking(RankContext& ctx, std::size_t bk) {
+template <class T>
+Payload produce_packet_blocking(RankContext<T>& ctx, std::size_t bk) {
   const BlockCyclic& dist = *ctx.dist;
   Comm& comm = *ctx.comm;
   const Grid& grid = dist.grid();
@@ -211,7 +238,8 @@ struct PanelLaunch {
 /// packet to every other rank (flat fan-out — the pipelined broadcast depth
 /// is the simulator's concern, the functional path needs the overlap
 /// structure); everyone else posts an irecv and keeps computing.
-PanelLaunch start_panel(RankContext& ctx, std::size_t nbk) {
+template <class T>
+PanelLaunch start_panel(RankContext<T>& ctx, std::size_t nbk) {
   const BlockCyclic& dist = *ctx.dist;
   Comm& comm = *ctx.comm;
   const Grid& grid = dist.grid();
@@ -245,7 +273,8 @@ PanelLaunch start_panel(RankContext& ctx, std::size_t nbk) {
   return launch;
 }
 
-Payload finish_panel(RankContext& ctx, PanelLaunch launch) {
+template <class T>
+Payload finish_panel(RankContext<T>& ctx, PanelLaunch launch) {
   if (launch.have) return std::move(launch.packet);
   const double t0 = ctx.now();
   Payload packet = launch.req.take();
@@ -254,7 +283,8 @@ Payload finish_panel(RankContext& ctx, PanelLaunch launch) {
 }
 
 /// Writes the factored panel rows back into their owners' local storage.
-void write_back_panel(RankContext& ctx, std::size_t k0, std::size_t pw,
+template <class T>
+void write_back_panel(RankContext<T>& ctx, std::size_t k0, std::size_t pw,
                       const double* panel_data) {
   const BlockCyclic& dist = *ctx.dist;
   const std::size_t lc0 = ctx.local_col_lower_bound(k0);
@@ -262,14 +292,15 @@ void write_back_panel(RankContext& ctx, std::size_t k0, std::size_t pw,
   for (std::size_t lr = lr0; lr < ctx.lrows(); ++lr) {
     const std::size_t g = dist.global_row(ctx.prow, lr);
     for (std::size_t c = 0; c < pw; ++c)
-      ctx.local(lr, lc0 + c) = panel_data[(g - k0) * pw + c];
+      ctx.local(lr, lc0 + c) = static_cast<T>(panel_data[(g - k0) * pw + c]);
   }
 }
 
 /// Applies the stage's row interchanges to the local columns covered by
 /// `ranges` (global column spans; the pw panel columns must not be inside
 /// them — they were already swapped during the panel factorization).
-void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
+template <class T>
+void swap_rows_ranges(RankContext<T>& ctx, int tag, const double* ipiv_stage,
                       std::size_t k0, std::size_t pw,
                       const std::vector<ColSpan>& ranges) {
   const BlockCyclic& dist = *ctx.dist;
@@ -283,12 +314,14 @@ void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
   const double t0 = ctx.now();
   auto copy_row_segment = [&](std::size_t lr, Payload& out) {
     for (const auto& [lo, hi] : iv)
-      for (std::size_t c = lo; c < hi; ++c) out.push_back(ctx.local(lr, c));
+      for (std::size_t c = lo; c < hi; ++c)
+        out.push_back(static_cast<double>(ctx.local(lr, c)));
   };
   auto write_row_segment = [&](std::size_t lr, const double* in) {
     std::size_t pos = 0;
     for (const auto& [lo, hi] : iv)
-      for (std::size_t c = lo; c < hi; ++c) ctx.local(lr, c) = in[pos++];
+      for (std::size_t c = lo; c < hi; ++c)
+        ctx.local(lr, c) = static_cast<T>(in[pos++]);
   };
   const SwapAlgorithm swap_alg = ctx.options != nullptr
                                      ? ctx.options->swap_algorithm
@@ -310,8 +343,8 @@ void swap_rows_ranges(RankContext& ctx, int tag, const double* ipiv_stage,
       for (const auto& [lo, hi] : iv) {
         auto region =
             ctx.local.view().block(0, lo, ctx.local.rows(), hi - lo);
-        blas::laswp_fused<double>(region, local_plan, /*pool=*/nullptr,
-                                  col_chunk);
+        blas::laswp_fused<T>(region, local_plan, /*pool=*/nullptr,
+                             col_chunk);
       }
       local_plan = blas::SwapPlan{};
     };
@@ -432,7 +465,8 @@ struct USlot {
 
 /// Owner-row half of a pipelined U start: solves L11 * U = A12 for the
 /// slot's columns and isends the result down the process column.
-void owner_solve_and_send_u(RankContext& ctx, std::size_t bk, int subset,
+template <class T>
+void owner_solve_and_send_u(RankContext<T>& ctx, std::size_t bk, int subset,
                             std::size_t k0, std::size_t pw,
                             const double* panel_data, USlot& slot) {
   const BlockCyclic& dist = *ctx.dist;
@@ -441,17 +475,19 @@ void owner_solve_and_send_u(RankContext& ctx, std::size_t bk, int subset,
   const int tag = static_cast<int>(bk) * kTagStride + kTagUBcast + subset;
   const std::size_t lr0 = dist.local_row(k0);
   const double t0 = ctx.now();
-  Matrix<double> u(pw, slot.width);
+  Matrix<T> u(pw, slot.width);
   for (std::size_t r = 0; r < pw; ++r)
     for (std::size_t c = 0; c < slot.width; ++c)
       u(r, c) = ctx.local(lr0 + r, slot.lc0 + c);
-  MatrixView<const double> l11(panel_data, pw, pw, pw);
-  blas::trsm_left_lower_unit<double>(l11, u.view());
+  const Matrix<T> l11 = l11_from_packet<T>(panel_data, pw);
+  blas::trsm_left_lower_unit<T>(l11.view(), u.view());
   for (std::size_t r = 0; r < pw; ++r)
     for (std::size_t c = 0; c < slot.width; ++c)
       ctx.local(lr0 + r, slot.lc0 + c) = u(r, c);
   ctx.record(SpanKind::kTrsm, t0);
-  slot.u.assign(u.data(), u.data() + pw * slot.width);
+  slot.u.resize(pw * slot.width);
+  for (std::size_t i = 0; i < pw * slot.width; ++i)
+    slot.u[i] = static_cast<double>(u.data()[i]);
   const double t1 = ctx.now();
   for (int prow = 0; prow < grid.p; ++prow)
     if (prow != ctx.prow) comm.isend(grid.rank_of(prow, ctx.pcol), tag, slot.u);
@@ -464,7 +500,8 @@ void owner_solve_and_send_u(RankContext& ctx, std::size_t bk, int subset,
 /// be called later, letting the wide solve slide off the critical path);
 /// other rows post an irecv. No-op when the subset has no local columns
 /// (consistent across the process column).
-USlot start_u(RankContext& ctx, std::size_t bk, int subset, std::size_t k0,
+template <class T>
+USlot start_u(RankContext<T>& ctx, std::size_t bk, int subset, std::size_t k0,
               std::size_t pw, const double* panel_data, ColSpan cols,
               bool defer_solve = false) {
   const BlockCyclic& dist = *ctx.dist;
@@ -489,7 +526,8 @@ USlot start_u(RankContext& ctx, std::size_t bk, int subset, std::size_t k0,
 
 /// Completes a pipelined U slot: non-owners block on the irecv here (the
 /// recorded kBroadcast span is exactly the exposed transfer time).
-void wait_u(RankContext& ctx, USlot& slot) {
+template <class T>
+void wait_u(RankContext<T>& ctx, USlot& slot) {
   if (slot.owner || slot.width == 0) return;
   const double t0 = ctx.now();
   slot.u = slot.req.take();
@@ -498,7 +536,8 @@ void wait_u(RankContext& ctx, USlot& slot) {
 
 /// Blocking full-width U solve + binomial broadcast down each process
 /// column (the kNone/kBasic path). Returns a USlot with the payload in hand.
-USlot solve_and_bcast_u(RankContext& ctx, std::size_t bk, std::size_t k0,
+template <class T>
+USlot solve_and_bcast_u(RankContext<T>& ctx, std::size_t bk, std::size_t k0,
                         std::size_t pw, const double* panel_data,
                         ColSpan cols) {
   const BlockCyclic& dist = *ctx.dist;
@@ -515,17 +554,19 @@ USlot solve_and_bcast_u(RankContext& ctx, std::size_t bk, std::size_t k0,
   if (ctx.prow == pr) {
     const std::size_t lr0 = dist.local_row(k0);
     const double t0 = ctx.now();
-    Matrix<double> u(pw, slot.width);
+    Matrix<T> u(pw, slot.width);
     for (std::size_t r = 0; r < pw; ++r)
       for (std::size_t c = 0; c < slot.width; ++c)
         u(r, c) = ctx.local(lr0 + r, slot.lc0 + c);
-    MatrixView<const double> l11(panel_data, pw, pw, pw);
-    blas::trsm_left_lower_unit<double>(l11, u.view());
+    const Matrix<T> l11 = l11_from_packet<T>(panel_data, pw);
+    blas::trsm_left_lower_unit<T>(l11.view(), u.view());
     for (std::size_t r = 0; r < pw; ++r)
       for (std::size_t c = 0; c < slot.width; ++c)
         ctx.local(lr0 + r, slot.lc0 + c) = u(r, c);
     ctx.record(SpanKind::kTrsm, t0);
-    slot.u.assign(u.data(), u.data() + pw * slot.width);
+    slot.u.resize(pw * slot.width);
+    for (std::size_t i = 0; i < pw * slot.width; ++i)
+      slot.u[i] = static_cast<double>(u.data()[i]);
   }
   std::vector<int> col_group;
   for (int prow = 0; prow < grid.p; ++prow)
@@ -540,15 +581,16 @@ USlot solve_and_bcast_u(RankContext& ctx, std::size_t bk, std::size_t k0,
 }
 
 /// L21 rows of the broadcast panel owned by this rank (trailing rows only).
-Matrix<double> build_l21(const RankContext& ctx, std::size_t k0,
-                         std::size_t pw, const double* panel_data,
-                         std::size_t lr_trail, std::size_t m_loc) {
+template <class T>
+Matrix<T> build_l21(const RankContext<T>& ctx, std::size_t k0,
+                    std::size_t pw, const double* panel_data,
+                    std::size_t lr_trail, std::size_t m_loc) {
   const BlockCyclic& dist = *ctx.dist;
-  Matrix<double> l21(m_loc, pw);
+  Matrix<T> l21(m_loc, pw);
   for (std::size_t r = 0; r < m_loc; ++r) {
     const std::size_t g = dist.global_row(ctx.prow, lr_trail + r);
     for (std::size_t c = 0; c < pw; ++c)
-      l21(r, c) = panel_data[(g - k0) * pw + c];
+      l21(r, c) = static_cast<T>(panel_data[(g - k0) * pw + c]);
   }
   return l21;
 }
@@ -557,7 +599,8 @@ Matrix<double> build_l21(const RankContext& ctx, std::size_t k0,
 /// that fall inside `cols`. Column subsets accumulate each element over k
 /// in the same order as the full-width update (see gemm_tiled.h), so the
 /// split is bitwise-neutral.
-void update_range(RankContext& ctx, std::size_t pw, const Matrix<double>& l21,
+template <class T>
+void update_range(RankContext<T>& ctx, std::size_t pw, const Matrix<T>& l21,
                   std::size_t lr_trail, std::size_t m_loc, const USlot& slot,
                   ColSpan cols) {
   if (m_loc == 0 || slot.width == 0) return;
@@ -570,19 +613,51 @@ void update_range(RankContext& ctx, std::size_t pw, const Matrix<double>& l21,
                              slot.width);
   auto a22 = ctx.local.block(lr_trail, lo, m_loc, hi - lo);
   if (ctx.options != nullptr && ctx.options->use_offload_engine) {
-    core::offload_gemm_functional(-1.0, l21.view(), u, a22,
-                                  ctx.options->offload);
+    if constexpr (std::is_same_v<T, double>) {
+      core::offload_gemm_functional(-1.0, l21.view(), u, a22,
+                                    ctx.options->offload);
+    } else {
+      // The offload engine computes in fp64. Widen the fp32 operands and
+      // the update target (exact), run the engine, narrow the result back —
+      // deterministic for a fixed config, so clean and faulted mixed runs
+      // still match bitwise.
+      Matrix<double> l21d(m_loc, pw);
+      for (std::size_t r = 0; r < m_loc; ++r)
+        for (std::size_t c = 0; c < pw; ++c)
+          l21d(r, c) = static_cast<double>(l21(r, c));
+      Matrix<double> a22d(m_loc, hi - lo);
+      for (std::size_t r = 0; r < m_loc; ++r)
+        for (std::size_t c = 0; c < hi - lo; ++c)
+          a22d(r, c) = static_cast<double>(a22(r, c));
+      core::offload_gemm_functional(-1.0, l21d.view(), u, a22d.view(),
+                                    ctx.options->offload);
+      for (std::size_t r = 0; r < m_loc; ++r)
+        for (std::size_t c = 0; c < hi - lo; ++c)
+          a22(r, c) = static_cast<T>(a22d(r, c));
+    }
   } else {
     blas::GemmOptions go;
     go.chunk_k = pw;
     go.kernel = ctx.options != nullptr ? ctx.options->microkernel : 0;
-    blas::gemm_tiled<double>(-1.0, l21.view(), u, 1.0, a22, go);
+    if constexpr (std::is_same_v<T, double>) {
+      blas::gemm_tiled<double>(-1.0, l21.view(), u, 1.0, a22, go);
+    } else {
+      // Narrow the (exactly widened) U payload back to the local scalar;
+      // packing from the contiguous copy yields the same packed operand as
+      // packing the strided view would.
+      Matrix<T> um(pw, hi - lo);
+      for (std::size_t r = 0; r < pw; ++r)
+        for (std::size_t c = 0; c < hi - lo; ++c)
+          um(r, c) = static_cast<T>(u(r, c));
+      blas::gemm_tiled<T>(T(-1), l21.view(), um.view(), T(1), a22, go);
+    }
   }
   ctx.record(SpanKind::kGemm, t0);
 }
 
 /// One fully blocking LU stage (Lookahead::kNone — Figure 8a).
-void run_stage_blocking(RankContext& ctx, std::size_t bk,
+template <class T>
+void run_stage_blocking(RankContext<T>& ctx, std::size_t bk,
                         std::vector<double>& ipiv_all) {
   const BlockCyclic& dist = *ctx.dist;
   const std::size_t n = dist.n();
@@ -607,15 +682,16 @@ void run_stage_blocking(RankContext& ctx, std::size_t bk,
   const std::size_t lr_trail = ctx.local_row_lower_bound(k0 + pw);
   const std::size_t m_loc = ctx.lrows() - lr_trail;
   if (m_loc == 0 || u.width == 0) return;
-  const Matrix<double> l21 = build_l21(ctx, k0, pw, panel_data, lr_trail, m_loc);
+  const Matrix<T> l21 = build_l21(ctx, k0, pw, panel_data, lr_trail, m_loc);
   update_range(ctx, pw, l21, lr_trail, m_loc, u, trail);
 }
 
 /// One look-ahead LU stage (kBasic — Figure 8b, kPipelined — Figure 8c).
 /// Consumes this stage's already-factored packet and returns the next
 /// stage's (factored while this stage's trailing update ran).
-Payload run_stage_lookahead(RankContext& ctx, std::size_t bk, Payload packet,
-                            std::vector<double>& ipiv_all) {
+template <class T>
+Payload run_stage_lookahead(RankContext<T>& ctx, std::size_t bk,
+                            Payload packet, std::vector<double>& ipiv_all) {
   const BlockCyclic& dist = *ctx.dist;
   const std::size_t n = dist.n();
   const std::size_t nb = dist.nb();
@@ -660,9 +736,9 @@ Payload run_stage_lookahead(RankContext& ctx, std::size_t bk, Payload packet,
 
   const std::size_t lr_trail = ctx.local_row_lower_bound(trail_g0);
   const std::size_t m_loc = ctx.lrows() - lr_trail;
-  const Matrix<double> l21 =
+  const Matrix<T> l21 =
       m_loc > 0 ? build_l21(ctx, k0, pw, panel_data, lr_trail, m_loc)
-                : Matrix<double>();
+                : Matrix<T>();
 
   PanelLaunch launch;
   if (ctx.options->lookahead == Lookahead::kBasic) {
@@ -716,12 +792,18 @@ Payload run_stage_lookahead(RankContext& ctx, std::size_t bk, Payload packet,
 }
 
 /// Distributed block triangular solves: given the block-cyclic factors and
-/// the (replicated) pivot-permuted right-hand side, computes x on every rank
-/// via per-block row reductions to the diagonal owner and broadcasts of each
+/// the (replicated) permuted right-hand side, computes x on every rank via
+/// per-block row reductions to the diagonal owner and broadcasts of each
 /// solved block (forward substitution with unit-lower L, then backward with
-/// U).
-std::vector<double> distributed_solve(RankContext& ctx,
-                                      const std::vector<double>& b_permuted) {
+/// U). Arithmetic runs in the local scalar T — for Precision::kMixed this is
+/// exactly "solve through the fp32 factors" — and the returned vector is the
+/// exact widening of the T result. `solve_base` is the first message tag of
+/// the solve's window ((2*blocks + 4)-tags wide plus 4 slack); the
+/// refinement loop re-invokes the solve with a fresh window per iteration.
+template <class T>
+std::vector<double> distributed_solve(RankContext<T>& ctx,
+                                      const std::vector<double>& rhs,
+                                      int solve_base) {
   const BlockCyclic& dist = *ctx.dist;
   Comm& comm = *ctx.comm;
   const Grid& grid = dist.grid();
@@ -731,8 +813,7 @@ std::vector<double> distributed_solve(RankContext& ctx,
   std::vector<int> everyone(grid.ranks());
   for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
 
-  std::vector<double> y(n, 0.0);
-  const int solve_base = static_cast<int>(blocks + 1) * kTagStride;
+  std::vector<T> y(n, T(0));
 
   // --- Forward: L y = P b (unit lower). Blocks in increasing order. ---
   for (std::size_t k = 0; k < blocks; ++k) {
@@ -744,7 +825,7 @@ std::vector<double> distributed_solve(RankContext& ctx,
     const int tag = solve_base + static_cast<int>(k) * 2;
     if (ctx.prow == pr) {
       // Partial sum over this rank's local columns with global index < k0.
-      Payload partial(pw, 0.0);
+      std::vector<T> partial(pw, T(0));
       const std::size_t lr0 = dist.local_row(k0);
       const std::size_t lc_end = ctx.local_col_lower_bound(k0);
       for (std::size_t lc = 0; lc < lc_end; ++lc) {
@@ -753,19 +834,23 @@ std::vector<double> distributed_solve(RankContext& ctx,
           partial[r] += ctx.local(lr0 + r, lc) * y[g];
       }
       if (comm.rank() != diag) {
-        comm.send(diag, tag, std::move(partial));
+        Payload out(pw);
+        for (std::size_t r = 0; r < pw; ++r)
+          out[r] = static_cast<double>(partial[r]);
+        comm.send(diag, tag, std::move(out));
       } else {
         for (int pcol = 0; pcol < grid.q; ++pcol) {
           const int src = grid.rank_of(pr, pcol);
           if (src == diag) continue;
           const Payload other = comm.recv(src, tag);
-          for (std::size_t r = 0; r < pw; ++r) partial[r] += other[r];
+          for (std::size_t r = 0; r < pw; ++r)
+            partial[r] += static_cast<T>(other[r]);
         }
         // Solve the unit-lower diagonal block.
-        Payload yk(pw);
+        std::vector<T> yk(pw);
         const std::size_t lc0 = dist.local_col(k0);
         for (std::size_t r = 0; r < pw; ++r) {
-          double acc = b_permuted[k0 + r] - partial[r];
+          T acc = static_cast<T>(rhs[k0 + r]) - partial[r];
           for (std::size_t j = 0; j < r; ++j)
             acc -= ctx.local(lr0 + r, lc0 + j) * yk[j];
           yk[r] = acc;
@@ -776,13 +861,18 @@ std::vector<double> distributed_solve(RankContext& ctx,
     // Broadcast the solved block to everyone (pw doubles: stays tree-side
     // of any sane crossover, but routed through the dispatcher regardless).
     Payload block;
-    if (comm.rank() == diag) block.assign(y.begin() + k0, y.begin() + k0 + pw);
+    if (comm.rank() == diag) {
+      block.resize(pw);
+      for (std::size_t r = 0; r < pw; ++r)
+        block[r] = static_cast<double>(y[k0 + r]);
+    }
     block = comm.bcast_auto(diag, everyone, std::move(block), tag + 1, pw);
-    for (std::size_t r = 0; r < pw; ++r) y[k0 + r] = block[r];
+    for (std::size_t r = 0; r < pw; ++r)
+      y[k0 + r] = static_cast<T>(block[r]);
   }
 
   // --- Backward: U x = y (non-unit upper). Blocks in decreasing order. ---
-  std::vector<double> x(n, 0.0);
+  std::vector<T> x(n, T(0));
   const int back_base = solve_base + static_cast<int>(blocks) * 2 + 4;
   for (std::size_t kk = blocks; kk-- > 0;) {
     const std::size_t k0 = kk * nb;
@@ -792,7 +882,7 @@ std::vector<double> distributed_solve(RankContext& ctx,
     const int diag = grid.rank_of(pr, pc);
     const int tag = back_base + static_cast<int>(kk) * 2;
     if (ctx.prow == pr) {
-      Payload partial(pw, 0.0);
+      std::vector<T> partial(pw, T(0));
       const std::size_t lr0 = dist.local_row(k0);
       const std::size_t lc_start = ctx.local_col_lower_bound(k0 + pw);
       for (std::size_t lc = lc_start; lc < ctx.lcols(); ++lc) {
@@ -801,18 +891,22 @@ std::vector<double> distributed_solve(RankContext& ctx,
           partial[r] += ctx.local(lr0 + r, lc) * x[g];
       }
       if (comm.rank() != diag) {
-        comm.send(diag, tag, std::move(partial));
+        Payload out(pw);
+        for (std::size_t r = 0; r < pw; ++r)
+          out[r] = static_cast<double>(partial[r]);
+        comm.send(diag, tag, std::move(out));
       } else {
         for (int pcol = 0; pcol < grid.q; ++pcol) {
           const int src = grid.rank_of(pr, pcol);
           if (src == diag) continue;
           const Payload other = comm.recv(src, tag);
-          for (std::size_t r = 0; r < pw; ++r) partial[r] += other[r];
+          for (std::size_t r = 0; r < pw; ++r)
+            partial[r] += static_cast<T>(other[r]);
         }
-        Payload xk(pw);
+        std::vector<T> xk(pw);
         const std::size_t lc0 = dist.local_col(k0);
         for (std::size_t r = pw; r-- > 0;) {
-          double acc = y[k0 + r] - partial[r];
+          T acc = y[k0 + r] - partial[r];
           for (std::size_t j = r + 1; j < pw; ++j)
             acc -= ctx.local(lr0 + r, lc0 + j) * xk[j];
           xk[r] = acc / ctx.local(lr0 + r, lc0 + r);
@@ -821,21 +915,35 @@ std::vector<double> distributed_solve(RankContext& ctx,
       }
     }
     Payload block;
-    if (comm.rank() == diag) block.assign(x.begin() + k0, x.begin() + k0 + pw);
+    if (comm.rank() == diag) {
+      block.resize(pw);
+      for (std::size_t r = 0; r < pw; ++r)
+        block[r] = static_cast<double>(x[k0 + r]);
+    }
     block = comm.bcast_auto(diag, everyone, std::move(block), tag + 1, pw);
-    for (std::size_t r = 0; r < pw; ++r) x[k0 + r] = block[r];
+    for (std::size_t r = 0; r < pw; ++r)
+      x[k0 + r] = static_cast<T>(block[r]);
   }
-  return x;
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(x[i]);
+  return out;
 }
 
-/// Distributed HPL residual: every rank regenerates its own entries of the
-/// ORIGINAL matrix from the position-stable generator, contributes partial
-/// row sums of A*x and |A| row norms, and a ring allreduce combines them —
-/// the check the native cluster would run without ever gathering A.
-double compute_distributed_residual(RankContext& ctx,
-                                    const std::vector<double>& x,
-                                    const std::vector<double>& b,
-                                    std::uint64_t seed, int tag) {
+/// Allreduced fp64 residual data for the solution x: the scaled HPL residual
+/// (the gate value) and the residual vector r = b - A x, both computed from
+/// per-rank regenerated entries of the ORIGINAL matrix — no gathered A.
+/// Deterministic: the ring allreduce combines partial sums in a fixed order,
+/// so every rank (and every clean/faulted rerun) gets identical doubles.
+struct DistResidual {
+  double scaled = 0;
+  std::vector<double> r;
+};
+
+template <class T>
+DistResidual distributed_residual(RankContext<T>& ctx,
+                                  const std::vector<double>& x,
+                                  const std::vector<double>& b,
+                                  std::uint64_t seed, int tag) {
   const BlockCyclic& dist = *ctx.dist;
   const Grid& grid = dist.grid();
   const std::size_t n = dist.n();
@@ -852,8 +960,11 @@ double compute_distributed_residual(RankContext& ctx,
   std::vector<int> everyone(grid.ranks());
   for (int r = 0; r < grid.ranks(); ++r) everyone[r] = r;
   acc = ctx.comm->allreduce(everyone, std::move(acc), tag);
+  DistResidual res;
+  res.r.resize(n);
   double r_inf = 0, a_inf = 0, x_inf = 0, b_inf = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    res.r[i] = b[i] - acc[i];
     r_inf = std::max(r_inf, std::abs(acc[i] - b[i]));
     a_inf = std::max(a_inf, acc[n + i]);
     x_inf = std::max(x_inf, std::abs(x[i]));
@@ -861,7 +972,174 @@ double compute_distributed_residual(RankContext& ctx,
   }
   const double eps = std::numeric_limits<double>::epsilon();
   const double denom = eps * (a_inf * x_inf + b_inf) * static_cast<double>(n);
-  return denom > 0 ? r_inf / denom : r_inf;
+  res.scaled = denom > 0 ? r_inf / denom : r_inf;
+  return res;
+}
+
+/// The whole per-rank program: fill, factor, solve, (mixed: refine),
+/// validate. T = double is the classic fp64 benchmark, bit-for-bit the
+/// pre-template behavior; T = float is the mixed-precision path.
+template <class T>
+void rank_main(Comm& comm, const BlockCyclic& dist, const Grid& grid,
+               const DistributedHplOptions& options, std::uint64_t seed,
+               std::chrono::steady_clock::time_point epoch,
+               std::vector<trace::Span>* spans, DistributedHplResult& result,
+               std::mutex& result_mu) {
+  const std::size_t n = dist.n();
+  RankContext<T> ctx;
+  ctx.dist = &dist;
+  ctx.comm = &comm;
+  ctx.options = &options;
+  ctx.prow = grid.prow_of(comm.rank());
+  ctx.pcol = grid.pcol_of(comm.rank());
+  ctx.epoch = epoch;
+  ctx.spans = spans;
+  ctx.local = Matrix<T>(ctx.lrows(), ctx.lcols());
+  // Fill from the position-stable generator: each rank produces exactly
+  // the entries it owns (demoted to T — this cast IS the fp32 demotion
+  // under Precision::kMixed).
+  for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
+    for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
+      ctx.local(lr, lc) = static_cast<T>(
+          util::hpl_entry(seed, dist.global_row(ctx.prow, lr),
+                          dist.global_col(ctx.pcol, lc)));
+
+  std::vector<double> ipiv_all;
+  if (options.lookahead == Lookahead::kNone) {
+    for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
+      run_stage_blocking(ctx, bk, ipiv_all);
+  } else {
+    Payload packet = produce_packet_blocking(ctx, 0);
+    for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
+      packet = run_stage_lookahead(ctx, bk, std::move(packet), ipiv_all);
+  }
+
+  // Distributed solve: permute the replicated right-hand side by the
+  // recorded interchanges, then block forward/back substitution.
+  std::vector<double> b(n);
+  util::Rng brng(seed ^ 0xb0b);
+  for (auto& v : b) v = brng.next_centered();
+  std::vector<double> b_permuted = b;
+  for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i) {
+    const std::size_t piv = static_cast<std::size_t>(ipiv_all[i]);
+    if (piv != i) std::swap(b_permuted[i], b_permuted[piv]);
+  }
+  const int solve_base = static_cast<int>(dist.num_blocks() + 1) * kTagStride;
+  std::vector<double> x_dist = distributed_solve(ctx, b_permuted, solve_base);
+
+  // Distributed residual check (every rank participates and agrees). Under
+  // kMixed the same evaluation drives the refinement schedule: evaluate,
+  // stop when the (unrelaxed) gate passes, otherwise permute r, solve the
+  // correction through the fp32 factors in a fresh tag window, repeat.
+  const int residual_tag =
+      static_cast<int>(dist.num_blocks() + 1) * kTagStride +
+      static_cast<int>(dist.num_blocks()) * 4 + 8;
+  double dres = 0;
+  int refine_iters = 0;
+  std::vector<double> refine_trace;
+  if constexpr (std::is_same_v<T, double>) {
+    dres = distributed_residual(ctx, x_dist, b, seed, residual_tag).scaled;
+  } else {
+    const int iter_stride = static_cast<int>(dist.num_blocks()) * 4 + 16;
+    const int max_iters = std::max(0, options.refine_max_iters);
+    for (int it = 0;; ++it) {
+      const int eval_tag = residual_tag + it * iter_stride;
+      DistResidual rd = distributed_residual(ctx, x_dist, b, seed, eval_tag);
+      refine_trace.push_back(rd.scaled);
+      dres = rd.scaled;
+      if (rd.scaled < blas::kHplResidualThreshold) break;
+      if (it >= max_iters) break;  // cap hit; residual gate will fail below
+      std::vector<double> r_permuted = std::move(rd.r);
+      for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i) {
+        const std::size_t piv = static_cast<std::size_t>(ipiv_all[i]);
+        if (piv != i) std::swap(r_permuted[i], r_permuted[piv]);
+      }
+      const std::vector<double> d =
+          distributed_solve(ctx, r_permuted, eval_tag + 4);
+      for (std::size_t i = 0; i < n; ++i) x_dist[i] += d[i];
+      ++refine_iters;
+    }
+  }
+
+  // Gather the factored matrix to rank 0 for validation and solve.
+  const int gather_tag =
+      static_cast<int>(dist.num_blocks()) * kTagStride + kTagGather;
+  if (comm.rank() != 0) {
+    Payload mine;
+    mine.reserve(ctx.lrows() * ctx.lcols());
+    for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
+      for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
+        mine.push_back(static_cast<double>(ctx.local(lr, lc)));
+    comm.send(0, gather_tag, std::move(mine));
+    return;
+  }
+
+  Matrix<double> full(n, n);
+  auto scatter_into_full = [&](int prow, int pcol, const double* data) {
+    const std::size_t rows = dist.local_rows(prow);
+    const std::size_t cols = dist.local_cols(pcol);
+    for (std::size_t lr = 0; lr < rows; ++lr)
+      for (std::size_t lc = 0; lc < cols; ++lc)
+        full(dist.global_row(prow, lr), dist.global_col(pcol, lc)) =
+            data[lr * cols + lc];
+  };
+  {
+    Payload own;
+    own.reserve(ctx.lrows() * ctx.lcols());
+    for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
+      for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
+        own.push_back(static_cast<double>(ctx.local(lr, lc)));
+    scatter_into_full(ctx.prow, ctx.pcol, own.data());
+  }
+  for (int r = 1; r < grid.ranks(); ++r) {
+    const Payload msg = comm.recv(r, gather_tag);
+    scatter_into_full(grid.prow_of(r), grid.pcol_of(r), msg.data());
+  }
+
+  // Solve Ax = b on the gathered factors and check the residual against the
+  // regenerated original matrix — the unrelaxed fp64 gate in both modes.
+  std::vector<std::size_t> ipiv(n);
+  for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i)
+    ipiv[i] = static_cast<std::size_t>(ipiv_all[i]);
+  Matrix<double> orig(n, n);
+  util::fill_hpl_matrix(orig.view(), seed);
+  double residual = 0;
+  double agreement = 0;
+  if constexpr (std::is_same_v<T, double>) {
+    std::vector<double> x = b;
+    blas::lu_solve_vector<double>(full.view(), ipiv, x);
+    residual = blas::hpl_residual<double>(orig.view(), x, b);
+    for (std::size_t i = 0; i < n; ++i)
+      agreement = std::max(agreement, std::abs(x[i] - x_dist[i]));
+  } else {
+    // Sequential twin: narrow the gathered factors back to fp32 (exact) and
+    // run the shared-memory refinement against the same fp64 system. Its
+    // solution agrees with the distributed one to refinement accuracy; the
+    // gate is evaluated on the distributed x.
+    MixedFactors factors;
+    factors.lu = Matrix<float>(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        factors.lu(r, c) = static_cast<float>(full(r, c));
+    factors.ipiv = ipiv;
+    MixedOptions mo;
+    mo.max_refine_iters = options.refine_max_iters;
+    const MixedSolveResult seq = refine_mixed(orig.view(), b, factors, mo);
+    residual = blas::hpl_residual<double>(orig.view(), x_dist, b);
+    for (std::size_t i = 0; i < n; ++i)
+      agreement = std::max(agreement, std::abs(seq.x[i] - x_dist[i]));
+  }
+
+  std::lock_guard lk(result_mu);
+  result.factored = std::move(full);
+  result.ipiv = std::move(ipiv);
+  result.x = std::move(x_dist);
+  result.solve_agreement = agreement;
+  result.residual = residual;
+  result.distributed_residual = dres;
+  result.refine_iterations = refine_iters;
+  result.refine_trace = std::move(refine_trace);
+  result.ok = residual < blas::kHplResidualThreshold;
 }
 
 }  // namespace
@@ -888,100 +1166,14 @@ DistributedHplResult run_distributed_hpl(std::size_t n, std::size_t nb,
 
   std::mutex result_mu;
   world.run([&](Comm& comm) {
-    RankContext ctx;
-    ctx.dist = &dist;
-    ctx.comm = &comm;
-    ctx.options = &options;
-    ctx.prow = grid.prow_of(comm.rank());
-    ctx.pcol = grid.pcol_of(comm.rank());
-    ctx.epoch = epoch;
-    ctx.spans = options.timeline != nullptr ? &rank_spans[comm.rank()] : nullptr;
-    ctx.local = Matrix<double>(ctx.lrows(), ctx.lcols());
-    // Fill from the position-stable generator: each rank produces exactly
-    // the entries it owns.
-    for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
-      for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
-        ctx.local(lr, lc) = util::hpl_entry(seed, dist.global_row(ctx.prow, lr),
-                                            dist.global_col(ctx.pcol, lc));
-
-    std::vector<double> ipiv_all;
-    if (options.lookahead == Lookahead::kNone) {
-      for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
-        run_stage_blocking(ctx, bk, ipiv_all);
-    } else {
-      Payload packet = produce_packet_blocking(ctx, 0);
-      for (std::size_t bk = 0; bk < dist.num_blocks(); ++bk)
-        packet = run_stage_lookahead(ctx, bk, std::move(packet), ipiv_all);
-    }
-
-    // Distributed solve: permute the replicated right-hand side by the
-    // recorded interchanges, then block forward/back substitution.
-    std::vector<double> b(n);
-    util::Rng brng(seed ^ 0xb0b);
-    for (auto& v : b) v = brng.next_centered();
-    std::vector<double> b_permuted = b;
-    for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i) {
-      const std::size_t piv = static_cast<std::size_t>(ipiv_all[i]);
-      if (piv != i) std::swap(b_permuted[i], b_permuted[piv]);
-    }
-    const std::vector<double> x_dist = distributed_solve(ctx, b_permuted);
-
-    // Distributed residual check (every rank participates and agrees).
-    const int residual_tag =
-        static_cast<int>(dist.num_blocks() + 1) * kTagStride +
-        static_cast<int>(dist.num_blocks()) * 4 + 8;
-    const double dres =
-        compute_distributed_residual(ctx, x_dist, b, seed, residual_tag);
-
-    // Gather the factored matrix to rank 0 for validation and solve.
-    const int gather_tag =
-        static_cast<int>(dist.num_blocks()) * kTagStride + kTagGather;
-    if (comm.rank() != 0) {
-      Payload mine;
-      mine.reserve(ctx.lrows() * ctx.lcols());
-      for (std::size_t lr = 0; lr < ctx.lrows(); ++lr)
-        for (std::size_t lc = 0; lc < ctx.lcols(); ++lc)
-          mine.push_back(ctx.local(lr, lc));
-      comm.send(0, gather_tag, std::move(mine));
-      return;
-    }
-
-    Matrix<double> full(n, n);
-    auto scatter_into_full = [&](int prow, int pcol, const double* data) {
-      const std::size_t rows = dist.local_rows(prow);
-      const std::size_t cols = dist.local_cols(pcol);
-      for (std::size_t lr = 0; lr < rows; ++lr)
-        for (std::size_t lc = 0; lc < cols; ++lc)
-          full(dist.global_row(prow, lr), dist.global_col(pcol, lc)) =
-              data[lr * cols + lc];
-    };
-    scatter_into_full(ctx.prow, ctx.pcol, ctx.local.data());
-    for (int r = 1; r < grid.ranks(); ++r) {
-      const Payload msg = comm.recv(r, gather_tag);
-      scatter_into_full(grid.prow_of(r), grid.pcol_of(r), msg.data());
-    }
-
-    // Solve Ax = b with the gathered factors and check the residual.
-    std::vector<std::size_t> ipiv(n);
-    for (std::size_t i = 0; i < n && i < ipiv_all.size(); ++i)
-      ipiv[i] = static_cast<std::size_t>(ipiv_all[i]);
-    Matrix<double> orig(n, n);
-    util::fill_hpl_matrix(orig.view(), seed);
-    std::vector<double> x = b;
-    blas::lu_solve_vector<double>(full.view(), ipiv, x);
-    const double residual = blas::hpl_residual<double>(orig.view(), x, b);
-    double agreement = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      agreement = std::max(agreement, std::abs(x[i] - x_dist[i]));
-
-    std::lock_guard lk(result_mu);
-    result.factored = std::move(full);
-    result.ipiv = std::move(ipiv);
-    result.x = x_dist;
-    result.solve_agreement = agreement;
-    result.residual = residual;
-    result.distributed_residual = dres;
-    result.ok = residual < blas::kHplResidualThreshold;
+    std::vector<trace::Span>* spans =
+        options.timeline != nullptr ? &rank_spans[comm.rank()] : nullptr;
+    if (options.precision == Precision::kMixed)
+      rank_main<float>(comm, dist, grid, options, seed, epoch, spans, result,
+                       result_mu);
+    else
+      rank_main<double>(comm, dist, grid, options, seed, epoch, spans, result,
+                        result_mu);
   });
 
   result.comm_stats.reserve(grid.ranks());

@@ -42,6 +42,7 @@
 
 #include "core/offload_functional.h"
 #include "hpl/block_cyclic.h"
+#include "hpl/precision.h"
 #include "net/world.h"
 #include "util/matrix.h"
 
@@ -116,6 +117,19 @@ struct DistributedHplOptions {
   /// delay/drop, scripted slow/dead ranks; see World::set_fault_injector).
   /// To also fault the offload DMA path, set offload.injector. Null = clean.
   fault::Injector* injector = nullptr;
+
+  /// Precision::kMixed demotes the local shares to fp32, runs every
+  /// factorization stage through the float instantiation of the templated
+  /// drivers (the panel/U/trailing payloads still travel as doubles —
+  /// widening a float is exact, so the transport is bit-exact and the fp64
+  /// path is untouched), then recovers the fp64 answer with distributed
+  /// iterative refinement: r = b - Ax in fp64 (allreduced partial sums),
+  /// correction solved through the fp32 factors, on a fixed deterministic
+  /// schedule until the standard scaled-residual gate passes — the SAME
+  /// blas::kHplResidualThreshold gate as fp64, no relaxation.
+  Precision precision = Precision::kFp64;
+  /// Correction-solve cap of the refinement schedule (kMixed only).
+  int refine_max_iters = 30;
 };
 
 struct DistributedHplResult {
@@ -126,6 +140,9 @@ struct DistributedHplResult {
   /// norms are combined with a ring allreduce — no gathered matrix needed.
   double distributed_residual = 0;
   /// Factored matrix gathered to rank 0 (L\U in place, rows swapped).
+  /// Under Precision::kMixed these are the fp32 factors widened to double
+  /// (exact), so they compare bitwise against a sequential
+  /// getrf_blocked<float> of the demoted matrix.
   util::Matrix<double> factored;
   /// Absolute global row interchanges, stage-ordered.
   std::vector<std::size_t> ipiv;
@@ -138,6 +155,12 @@ struct DistributedHplResult {
   /// Per-rank communication counters (bytes, messages, blocked-wait time,
   /// mailbox high-water mark), indexed by rank.
   std::vector<net::CommStats> comm_stats;
+  /// kMixed only: correction solves applied, and the scaled fp64 residual
+  /// evaluated before each correction plus the final value. Every rank
+  /// computes the trace from the same allreduced data, so it is
+  /// bitwise-identical across ranks and across clean/faulted runs.
+  int refine_iterations = 0;
+  std::vector<double> refine_trace;
 };
 
 /// Factors the seeded HPL matrix of order n on a P x Q grid with panel width

@@ -1,0 +1,36 @@
+// Precision mode of the HPL solve path (shared by the sequential mixed
+// solver, the distributed driver, the run-config parser and the solve
+// server's job schema).
+//
+//   kFp64  — the classic benchmark: fp64 factorization, fp64 solve.
+//   kMixed — HPL-AI style: the matrix is demoted to fp32 and factored with
+//            the float instantiation of the blocked/DAG/distributed LU
+//            drivers (the float microkernel tables run at ~2x the fp64 flop
+//            rate and halve every pack/cache footprint), then the fp64
+//            answer is recovered by iterative refinement: r = b - Ax in
+//            fp64, the correction solved through the fp32 factors, repeated
+//            on a fixed deterministic schedule until the standard
+//            ||Ax-b|| / (eps * (||A||*||x|| + ||b||) * N) gate passes —
+//            the same unrelaxed gate the fp64 path asserts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xphi::hpl {
+
+enum class Precision { kFp64, kMixed };
+
+inline const char* precision_name(Precision p) {
+  return p == Precision::kMixed ? "mixed" : "fp64";
+}
+
+/// Parses "fp64" / "mixed" (the run-config and job-trace spellings).
+inline std::optional<Precision> parse_precision(std::string_view s) {
+  if (s == "fp64") return Precision::kFp64;
+  if (s == "mixed") return Precision::kMixed;
+  return std::nullopt;
+}
+
+}  // namespace xphi::hpl

@@ -18,8 +18,9 @@ namespace {
 
 using util::MatrixView;
 
+template <class T>
 struct Shared {
-  MatrixView<double> a;
+  MatrixView<T> a;
   std::span<std::size_t> ipiv;
   std::size_t nb;
   PanelDag* dag;
@@ -27,12 +28,13 @@ struct Shared {
   // Every update task of stage i multiplies against the same L21 panel; the
   // cache (keyed by stage) packs it once per stage instead of once per task.
   // A handful of entries suffices: look-ahead keeps only a few stages live.
-  blas::PackCache<double> packs{8};
+  blas::PackCache<T> packs{8};
   std::atomic<bool> failed{false};
   std::atomic<double> panel_seconds{0};
 };
 
-void execute_task(const Task& task, Shared& sh) {
+template <class T>
+void execute_task(const Task& task, Shared<T>& sh) {
   const std::size_t n = sh.a.rows();
   const std::size_t nb = sh.nb;
   if (task.kind == TaskKind::kPanelFactor) {
@@ -45,7 +47,7 @@ void execute_task(const Task& task, Shared& sh) {
     if (sh.tuning.panel_nb_min != 0) popt.nb_min = sh.tuning.panel_nb_min;
     popt.laswp_col_chunk = sh.tuning.laswp_col_chunk;
     popt.microkernel = sh.tuning.microkernel;
-    const bool ok = blas::getrf_panel<double>(panel, piv, popt);
+    const bool ok = blas::getrf_panel<T>(panel, piv, popt);
     sh.panel_seconds.fetch_add(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count(),
@@ -71,12 +73,12 @@ void execute_task(const Task& task, Shared& sh) {
       if (src != t) plan.pairs.push_back({t, src});
     }
     plan.finalize();
-    blas::laswp_fused<double>(block, plan, /*pool=*/nullptr,
-                              sh.tuning.laswp_col_chunk);
+    blas::laswp_fused<T>(block, plan, /*pool=*/nullptr,
+                         sh.tuning.laswp_col_chunk);
     // Forward solve: U12 = L11^-1 * A12.
     auto l11 = sh.a.block(r0, r0, iw, iw);
     auto u = sh.a.block(r0, c0, iw, jw);
-    blas::trsm_left_lower_unit<double>(l11, u);
+    blas::trsm_left_lower_unit<T>(l11, u);
     // Trailing update: A22 -= L21 * U12, as a single rank-iw outer product
     // over packed operands. L21 is identical for every panel of this stage,
     // so it comes from the stage-tagged pack cache; U12 is task-private (its
@@ -85,16 +87,17 @@ void execute_task(const Task& task, Shared& sh) {
       auto l21 = sh.a.block(r0 + iw, r0, n - r0 - iw, iw);
       auto a22 = sh.a.block(r0 + iw, c0, n - r0 - iw, jw);
       const auto pl21 = sh.packs.get_a(l21, /*tag=*/task.stage);
-      thread_local blas::PackedB<double> pu;
+      thread_local blas::PackedB<T> pu;
       pu.pack(u);
-      blas::outer_product_packed<double>(-1.0, *pl21, pu, 1.0, a22,
-                                         /*pool=*/nullptr,
-                                         sh.tuning.microkernel);
+      blas::outer_product_packed<T>(T(-1), *pl21, pu, T(1), a22,
+                                    /*pool=*/nullptr,
+                                    sh.tuning.microkernel);
     }
   }
 }
 
-void worker_loop(Shared& sh) {
+template <class T>
+void worker_loop(Shared<T>& sh) {
   while (!sh.dag->done() && !sh.failed.load(std::memory_order_relaxed)) {
     auto task = sh.dag->acquire();
     if (!task) {
@@ -108,13 +111,14 @@ void worker_loop(Shared& sh) {
 
 }  // namespace
 
-bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
-                   std::size_t nb, int workers, DagLuPackStats* pack_stats,
-                   DagLuTuning tuning, double* panel_seconds) {
+template <class T>
+bool dag_lu_factor_t(MatrixView<T> a, std::span<std::size_t> ipiv,
+                     std::size_t nb, int workers, DagLuPackStats* pack_stats,
+                     DagLuTuning tuning, double* panel_seconds) {
   const std::size_t n = a.rows();
   const std::size_t num_panels = (n + nb - 1) / nb;
   PanelDag dag(num_panels);
-  Shared sh{a, ipiv, nb, &dag, tuning};
+  Shared<T> sh{a, ipiv, nb, &dag, tuning};
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(std::max(1, workers)) - 1);
@@ -134,12 +138,19 @@ bool dag_lu_factor(MatrixView<double> a, std::span<std::size_t> ipiv,
     const std::size_t r0 = p * nb;
     const std::size_t pw = std::min(nb, n - r0);
     auto left = a.block(0, 0, n, r0);
-    blas::laswp_fused<double>(
+    blas::laswp_fused<T>(
         left, std::span<const std::size_t>(ipiv.data(), n), r0, r0 + pw,
         /*pool=*/nullptr, tuning.laswp_col_chunk);
   }
   return true;
 }
+
+template bool dag_lu_factor_t<float>(MatrixView<float>, std::span<std::size_t>,
+                                     std::size_t, int, DagLuPackStats*,
+                                     DagLuTuning, double*);
+template bool dag_lu_factor_t<double>(MatrixView<double>,
+                                      std::span<std::size_t>, std::size_t, int,
+                                      DagLuPackStats*, DagLuTuning, double*);
 
 FunctionalLuResult run_functional_dag_lu(std::size_t n, std::size_t nb,
                                          int workers, std::uint64_t seed,

@@ -38,10 +38,35 @@ struct DagLuTuning {
 /// false on a zero pivot. `pack_stats`, when given, receives the trailing
 /// update's PackCache hit/miss counts; `panel_seconds` the summed wall-clock
 /// of the panel-factor tasks (the critical path the DAG pipelines around).
-bool dag_lu_factor(util::MatrixView<double> a, std::span<std::size_t> ipiv,
-                   std::size_t nb, int workers,
-                   DagLuPackStats* pack_stats = nullptr,
-                   DagLuTuning tuning = {}, double* panel_seconds = nullptr);
+///
+/// Scalar-generic: the float instantiation drives the same DAG protocol
+/// through the float kernel stack (getrf_panel<float>, laswp_fused<float>,
+/// trsm<float>, outer_product_packed<float> over PackCache<float>) — the
+/// factorization half of mixed-precision HPL. Instantiated for float and
+/// double in functional.cc.
+template <class T>
+bool dag_lu_factor_t(util::MatrixView<T> a, std::span<std::size_t> ipiv,
+                     std::size_t nb, int workers,
+                     DagLuPackStats* pack_stats = nullptr,
+                     DagLuTuning tuning = {}, double* panel_seconds = nullptr);
+
+extern template bool dag_lu_factor_t<float>(util::MatrixView<float>,
+                                            std::span<std::size_t>,
+                                            std::size_t, int, DagLuPackStats*,
+                                            DagLuTuning, double*);
+extern template bool dag_lu_factor_t<double>(util::MatrixView<double>,
+                                             std::span<std::size_t>,
+                                             std::size_t, int, DagLuPackStats*,
+                                             DagLuTuning, double*);
+
+inline bool dag_lu_factor(util::MatrixView<double> a,
+                          std::span<std::size_t> ipiv, std::size_t nb,
+                          int workers, DagLuPackStats* pack_stats = nullptr,
+                          DagLuTuning tuning = {},
+                          double* panel_seconds = nullptr) {
+  return dag_lu_factor_t<double>(a, ipiv, nb, workers, pack_stats, tuning,
+                                 panel_seconds);
+}
 
 struct FunctionalLuResult {
   bool ok = false;

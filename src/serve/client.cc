@@ -81,6 +81,11 @@ std::vector<Job> generate_trace(const TrafficConfig& config) {
                           ? config.seed * 1000003ull + rng.next_u64() % hot
                           : config.seed * 1000003ull + 1000ull + i;
     job.rhs_seed = config.seed ^ (0x9E3779B97F4A7C15ull * (i + 1));
+    // Gated draw: configs that never ask for mixed jobs keep the exact
+    // pre-existing RNG stream (and therefore the exact trace).
+    if (config.mixed_fraction > 0 &&
+        rng.next_in(0, 1) < config.mixed_fraction)
+      job.precision = hpl::Precision::kMixed;
     trace.push_back(job);
   }
   return trace;
@@ -88,13 +93,13 @@ std::vector<Job> generate_trace(const TrafficConfig& config) {
 
 std::string trace_to_text(const std::vector<Job>& trace) {
   std::ostringstream out;
-  out << "xphi-trace v1 " << trace.size() << "\n";
+  out << "xphi-trace v2 " << trace.size() << "\n";
   char buf[64];
   for (const Job& j : trace) {
     std::snprintf(buf, sizeof buf, "%a", j.arrival_s);
     out << j.id << ' ' << j.tenant << ' ' << static_cast<int>(j.lane) << ' '
         << buf << ' ' << j.n << ' ' << j.matrix_seed << ' ' << j.rhs_seed
-        << '\n';
+        << ' ' << hpl::precision_name(j.precision) << '\n';
   }
   return out.str();
 }
@@ -104,7 +109,7 @@ bool trace_from_text(const std::string& text, std::vector<Job>* out) {
   std::string magic, version;
   std::size_t count = 0;
   if (!(in >> magic >> version >> count) || magic != "xphi-trace" ||
-      version != "v1")
+      (version != "v1" && version != "v2"))
     return false;
   std::vector<Job> trace;
   trace.reserve(count);
@@ -115,6 +120,13 @@ bool trace_from_text(const std::string& text, std::vector<Job>* out) {
     if (!(in >> j.id >> j.tenant >> lane >> arrival >> j.n >> j.matrix_seed >>
           j.rhs_seed))
       return false;
+    if (version == "v2") {
+      std::string prec;
+      if (!(in >> prec)) return false;
+      const auto p = hpl::parse_precision(prec);
+      if (!p) return false;
+      j.precision = *p;
+    }
     if (lane < 0 || lane >= kLaneCount) return false;
     j.lane = static_cast<Lane>(lane);
     char* end = nullptr;

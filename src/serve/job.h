@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "hpl/precision.h"
+
 namespace xphi::serve {
 
 /// Priority lanes. Interactive jobs preempt batch work up to the configured
@@ -38,6 +40,11 @@ struct Job {
   std::size_t n = 0;              // matrix order
   std::uint64_t matrix_seed = 0;  // util::hpl_entry seed of A
   std::uint64_t rhs_seed = 0;     // seed of b (always fresh per job)
+  /// kMixed jobs factor in fp32 and refine to the fp64 answer on the worker
+  /// (hpl::solve path); their cached factors cost half the fp64 bytes, so
+  /// they occupy one cache cost unit instead of two (see ShardedLuCache).
+  /// Jobs of different precisions never share a factorization.
+  hpl::Precision precision = hpl::Precision::kFp64;
 };
 
 /// The three canonical traffic mixes BENCH_serve.json reports:
@@ -71,6 +78,9 @@ struct TrafficConfig {
   double burst_gap_us = 4000;
   /// Intra-burst spacing (bursty mix).
   double burst_spacing_us = 20;
+  /// P(job requests mixed precision). The draw only happens when > 0, so
+  /// existing all-fp64 configs reproduce their traces bit for bit.
+  double mixed_fraction = 0;
 };
 
 /// Deterministic open-loop trace: same config, same trace, bit for bit.
@@ -78,8 +88,10 @@ struct TrafficConfig {
 std::vector<Job> generate_trace(const TrafficConfig& config);
 
 /// One-line-per-job text form for record/replay:
-///   id tenant lane arrival_s n matrix_seed rhs_seed
-/// Round-trips exactly (arrival times are printed as hex doubles).
+///   id tenant lane arrival_s n matrix_seed rhs_seed precision
+/// Round-trips exactly (arrival times are printed as hex doubles). Writes
+/// format v2 (the precision column); v1 traces still parse, defaulting every
+/// job to fp64.
 std::string trace_to_text(const std::vector<Job>& trace);
 
 /// Parses trace_to_text output. Returns false (leaving *out untouched) on

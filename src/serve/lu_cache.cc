@@ -33,8 +33,12 @@ std::uint64_t fnv1a_str(const std::string& s) {
 ShardedLuCache::ShardedLuCache(std::size_t shards, std::size_t capacity) {
   if (shards == 0) shards = 1;
   if (capacity == 0) capacity = 1;
-  shard_capacity_ = (capacity + shards - 1) / shards;
-  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  // Entry capacity split as before, then doubled into cost units: an
+  // all-fp64 workload (2 units each) evicts at exactly the historical entry
+  // count, while fp32 entries (1 unit) pack twice as densely.
+  std::size_t shard_entries = (capacity + shards - 1) / shards;
+  if (shard_entries == 0) shard_entries = 1;
+  shard_budget_ = 2 * shard_entries;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
@@ -63,19 +67,24 @@ void ShardedLuCache::insert(const CacheKey& key,
                             std::shared_ptr<const Factorization> value) {
   Shard& shard = *shards_[shard_of(key)];
   std::string flat = key.flat();
+  const std::size_t cost = factorization_cost(*value);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(flat);
   if (it != shard.index.end()) {
+    shard.used_units -= factorization_cost(*it->second->second);
+    shard.used_units += cost;
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     ++shard.stats.insertions;
     return;
   }
-  if (shard.lru.size() >= shard_capacity_) {
+  while (!shard.lru.empty() && shard.used_units + cost > shard_budget_) {
+    shard.used_units -= factorization_cost(*shard.lru.back().second);
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.stats.evictions;
   }
+  shard.used_units += cost;
   shard.lru.emplace_front(std::move(flat), std::move(value));
   shard.index.emplace(shard.lru.front().first, shard.lru.begin());
   ++shard.stats.insertions;
@@ -98,6 +107,15 @@ std::size_t ShardedLuCache::size() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     n += shard->lru.size();
+  }
+  return n;
+}
+
+std::size_t ShardedLuCache::used_units() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->used_units;
   }
   return n;
 }

@@ -5,15 +5,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <utility>
 
 #include "blas/getrf.h"
 #include "blas/lu_kernels.h"
 #include "core/offload_functional.h"
+#include "hpl/mixed.h"
 #include "lu/functional.h"
 #include "serve/lu_cache.h"
 #include "tune/knobs.h"
@@ -115,6 +118,12 @@ bool getrf_offload(util::MatrixView<double> a, std::span<std::size_t> ipiv,
 /// every right-hand side of the batch, respond. Final payload element
 /// layout documented inline; all timing here is wall-clock and feeds
 /// metrics only.
+///
+/// Mixed-precision batches factor through hpl::factor_mixed (fp32, half the
+/// cached bytes) and answer each job with hpl::refine_mixed — initial fp32
+/// solve plus fp64 iterative refinement against the regenerated A, gated by
+/// the standard scaled residual. Both are deterministic, so a cache hit
+/// still returns bitwise the first solver's answer.
 void worker_main(net::Comm& comm, const ServeConfig& cfg,
                  ShardedLuCache* cache, const std::string& machine) {
   for (;;) {
@@ -125,6 +134,7 @@ void worker_main(net::Comm& comm, const ServeConfig& cfg,
     const std::size_t n = static_cast<std::size_t>(cmd[at++]);
     const std::size_t nb = static_cast<std::size_t>(cmd[at++]);
     const std::uint64_t matrix_seed = read_u64(cmd, at);
+    const bool mixed = cmd[at++] != 0;
     const std::size_t job_count = static_cast<std::size_t>(cmd[at++]);
     std::vector<std::uint64_t> job_ids(job_count), rhs_seeds(job_count);
     for (std::size_t j = 0; j < job_count; ++j) {
@@ -133,11 +143,17 @@ void worker_main(net::Comm& comm, const ServeConfig& cfg,
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    auto fresh = std::make_shared<Factorization>();
-    fresh->lu = util::Matrix<double>(n, n);
-    util::fill_hpl_matrix<double>(fresh->lu.view(), matrix_seed);
-    const CacheKey key{machine, tune::bucket(n, n, nb).key(),
-                       content_hash_doubles(fresh->lu.data(), n * n)};
+    // The fp64 matrix is regenerated for every batch: it is the content-hash
+    // source in both modes, the factorization input for fp64, and the
+    // residual operand of the mixed refinement (needed even on a cache hit).
+    util::Matrix<double> a(n, n);
+    util::fill_hpl_matrix<double>(a.view(), matrix_seed);
+    // fp32 factors of the same matrix must never alias the fp64 entry: the
+    // bucket carries the precision, the content hash stays the fp64 bits.
+    std::string bucket = tune::bucket(n, n, nb).key();
+    if (mixed) bucket += "|fp32";
+    const CacheKey key{machine, std::move(bucket),
+                       content_hash_doubles(a.data(), n * n)};
 
     std::shared_ptr<const Factorization> fac;
     bool hit = false;
@@ -147,15 +163,29 @@ void worker_main(net::Comm& comm, const ServeConfig& cfg,
     }
     double factor_s = 0;
     if (!fac) {
-      fresh->ipiv.assign(n, 0);
+      auto fresh = std::make_shared<Factorization>();
       bool ok;
-      if (cfg.factor_cards > 0) {
-        ok = getrf_offload(fresh->lu.view(), fresh->ipiv, nb, cfg);
-      } else if (cfg.factor_workers > 1) {
-        ok = lu::dag_lu_factor(fresh->lu.view(), fresh->ipiv, nb,
-                               cfg.factor_workers);
+      if (mixed) {
+        fresh->precision = hpl::Precision::kMixed;
+        hpl::MixedOptions mo;
+        mo.nb = nb;
+        mo.factor_workers = cfg.factor_workers;
+        ok = hpl::factor_mixed(a.view(), fresh->mixed, mo);
       } else {
-        ok = blas::getrf_blocked<double>(fresh->lu.view(), fresh->ipiv, nb);
+        // Factor a copy; `a` stays pristine for the mixed/hash paths.
+        fresh->lu = util::Matrix<double>(n, n);
+        for (std::size_t r = 0; r < n; ++r)
+          std::memcpy(fresh->lu.data() + r * fresh->lu.ld(),
+                      a.data() + r * a.ld(), n * sizeof(double));
+        fresh->ipiv.assign(n, 0);
+        if (cfg.factor_cards > 0) {
+          ok = getrf_offload(fresh->lu.view(), fresh->ipiv, nb, cfg);
+        } else if (cfg.factor_workers > 1) {
+          ok = lu::dag_lu_factor(fresh->lu.view(), fresh->ipiv, nb,
+                                 cfg.factor_workers);
+        } else {
+          ok = blas::getrf_blocked<double>(fresh->lu.view(), fresh->ipiv, nb);
+        }
       }
       // The seeded HPL matrices are general; an exactly zero pivot would be
       // astronomically unlucky, but fail loudly rather than serve garbage.
@@ -181,7 +211,15 @@ void worker_main(net::Comm& comm, const ServeConfig& cfg,
       util::Rng rng(rhs_seeds[j]);
       for (std::size_t i = 0; i < n; ++i) b[i] = rng.next_centered();
       const auto s0 = std::chrono::steady_clock::now();
-      blas::lu_solve_vector<double>(fac->lu.view(), fac->ipiv, b);
+      if (mixed) {
+        const hpl::MixedSolveResult sol =
+            hpl::refine_mixed(a.view(), b, fac->mixed);
+        if (!sol.ok)
+          throw std::runtime_error("serve worker: mixed refinement diverged");
+        b = sol.x;
+      } else {
+        blas::lu_solve_vector<double>(fac->lu.view(), fac->ipiv, b);
+      }
       const double solve_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
               .count();
@@ -214,7 +252,10 @@ struct Dispatcher {
   std::vector<double> worker_vfree;
   std::vector<int> inflight;
   std::deque<InFlightBatch> outstanding;  // dispatch order
-  std::set<std::pair<std::size_t, std::uint64_t>> modeled_factored;
+  // (n, matrix_seed, precision): fp32 and fp64 factors of one matrix are
+  // distinct cache entries, so the cost model charges each its own first
+  // factorization.
+  std::set<std::tuple<std::size_t, std::uint64_t, int>> modeled_factored;
   int interactive_credit = 0;
   std::uint64_t next_batch_id = 0;
   char buf[256];
@@ -229,21 +270,31 @@ struct Dispatcher {
 
   void log(const char* line) { report.decisions.emplace_back(line); }
 
-  double factor_cost(std::size_t n) const {
+  double factor_cost(std::size_t n, hpl::Precision prec) const {
     const double nd = static_cast<double>(n);
-    return nd * nd * nd * cfg.factor_cost_scale;
+    const double mult = prec == hpl::Precision::kMixed
+                            ? cfg.mixed_factor_cost_mult
+                            : 1.0;
+    return nd * nd * nd * cfg.factor_cost_scale * mult;
   }
-  double solve_cost(std::size_t n) const {
+  double solve_cost(std::size_t n, hpl::Precision prec) const {
     const double nd = static_cast<double>(n);
-    return nd * nd * cfg.solve_cost_scale;
+    const double mult =
+        prec == hpl::Precision::kMixed ? cfg.mixed_solve_cost_mult : 1.0;
+    return nd * nd * cfg.solve_cost_scale * mult;
+  }
+
+  /// Batch compatibility: one factorization serves all of a batch's solves,
+  /// so jobs must share the matrix AND the precision it was factored in.
+  static bool compatible(const Job& a, const Job& b) {
+    return a.n == b.n && a.matrix_seed == b.matrix_seed &&
+           a.precision == b.precision;
   }
 
   std::size_t compatible_queued(const Job& head) const {
     std::size_t count = 0;
-    for (std::size_t idx : lanes[static_cast<int>(Lane::kBatch)]) {
-      const Job& j = trace[idx];
-      if (j.n == head.n && j.matrix_seed == head.matrix_seed) ++count;
-    }
+    for (std::size_t idx : lanes[static_cast<int>(Lane::kBatch)])
+      if (compatible(trace[idx], head)) ++count;
     return count;
   }
 
@@ -293,7 +344,7 @@ struct Dispatcher {
            it != q.end() &&
            batch_jobs.size() < static_cast<std::size_t>(cfg.max_batch);) {
         const Job& j = trace[*it];
-        if (j.n == head.n && j.matrix_seed == head.matrix_seed) {
+        if (compatible(j, head)) {
           batch_jobs.push_back(*it);
           it = q.erase(it);
         } else {
@@ -307,10 +358,14 @@ struct Dispatcher {
 
     const bool first =
         !cfg.use_cache ||
-        modeled_factored.emplace(head.n, head.matrix_seed).second;
+        modeled_factored
+            .emplace(head.n, head.matrix_seed,
+                     static_cast<int>(head.precision))
+            .second;
+    const double fcost = factor_cost(head.n, head.precision);
     const double cost =
-        (first ? factor_cost(head.n) : 0.0) +
-        static_cast<double>(batch_jobs.size()) * solve_cost(head.n);
+        (first ? fcost : 0.0) + static_cast<double>(batch_jobs.size()) *
+                                    solve_cost(head.n, head.precision);
     const double vstart = std::max(now, worker_vfree[w]);
     const double vfinish = vstart + cost;
     worker_vfree[w] = vfinish;
@@ -319,10 +374,9 @@ struct Dispatcher {
     if (first)
       report.timeline.record(static_cast<std::size_t>(w),
                              trace::SpanKind::kPanelFactor, vstart,
-                             vstart + factor_cost(head.n));
+                             vstart + fcost);
     report.timeline.record(static_cast<std::size_t>(w), trace::SpanKind::kTrsm,
-                           vstart + (first ? factor_cost(head.n) : 0.0),
-                           vfinish);
+                           vstart + (first ? fcost : 0.0), vfinish);
 
     net::Payload msg;
     msg.push_back(kOpBatch);
@@ -330,6 +384,7 @@ struct Dispatcher {
     msg.push_back(static_cast<double>(head.n));
     msg.push_back(static_cast<double>(cfg.nb));
     push_u64(msg, head.matrix_seed);
+    msg.push_back(head.precision == hpl::Precision::kMixed ? 1.0 : 0.0);
     msg.push_back(static_cast<double>(batch_jobs.size()));
     for (std::size_t idx : batch_jobs) {
       push_u64(msg, trace[idx].id);
@@ -340,12 +395,12 @@ struct Dispatcher {
 
     std::snprintf(buf, sizeof buf,
                   "dispatch batch=%llu worker=%d lane=%s n=%zu seed=%llu "
-                  "jobs=%zu first=%d start_us=%.6f finish_us=%.6f",
+                  "prec=%s jobs=%zu first=%d start_us=%.6f finish_us=%.6f",
                   static_cast<unsigned long long>(next_batch_id), w,
                   lane_name(static_cast<Lane>(lane)), head.n,
                   static_cast<unsigned long long>(head.matrix_seed),
-                  batch_jobs.size(), first ? 1 : 0, vstart * 1e6,
-                  vfinish * 1e6);
+                  hpl::precision_name(head.precision), batch_jobs.size(),
+                  first ? 1 : 0, vstart * 1e6, vfinish * 1e6);
     log(buf);
 
     InFlightBatch b;
@@ -501,6 +556,7 @@ ServeReport run_server(const std::vector<Job>& trace,
     report.jobs[i].tenant = trace[i].tenant;
     report.jobs[i].lane = trace[i].lane;
     report.jobs[i].n = trace[i].n;
+    report.jobs[i].precision = trace[i].precision;
     max_tenant = std::max(max_tenant, trace[i].tenant);
   }
   report.tenants.resize(static_cast<std::size_t>(max_tenant) + 1);

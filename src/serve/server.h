@@ -88,6 +88,8 @@ struct ServeConfig {
   /// >0: the factorization's trailing updates run through the functional
   /// offload engine with this many cards (chaos: dead cards are absorbed by
   /// the reliability protocol without changing a bit). 0 = plain kernels.
+  /// Applies to fp64 batches; mixed-precision batches factor through
+  /// hpl::factor_mixed (blocked or DAG per factor_workers).
   int factor_cards = 0;
 
   /// Fault injection: net faults (delay/slow/drop) on the World transport,
@@ -101,6 +103,13 @@ struct ServeConfig {
   /// virtual latencies; determinism needs it fixed, not accurate.
   double factor_cost_scale = 2.0 / 3.0 / 1e9;
   double solve_cost_scale = 2.0 / 1e9;
+  /// Mixed-precision cost multipliers: the fp32 factorization runs at ~2x
+  /// the fp64 flop rate (factor cost halved), while each mixed job's solve
+  /// is charged extra for the refinement schedule (initial fp32 solve +
+  /// fp64 residual sweeps + correction solves). Deterministic model values,
+  /// not measurements.
+  double mixed_factor_cost_mult = 0.5;
+  double mixed_solve_cost_mult = 3.0;
 
   /// Overlays tuned knobs (tune::Knobs serve_* fields; 0 = keep current).
   void apply(const tune::Knobs& knobs);
@@ -112,6 +121,7 @@ struct JobOutcome {
   int tenant = 0;
   Lane lane = Lane::kInteractive;
   std::size_t n = 0;
+  hpl::Precision precision = hpl::Precision::kFp64;
   bool rejected = false;
   bool cache_hit = false;  // batch-level; metrics only (may race)
   int worker = -1;

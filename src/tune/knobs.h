@@ -68,6 +68,10 @@ struct Knobs {
   // binomial tree; the segment is the ring's pipeline chunk.
   std::size_t net_crossover_doubles = 0;  // 0 = World default (1024)
   std::size_t net_ring_segment = 0;       // 0 = World default (1024)
+  // Mixed-precision HPL (hpl::MixedOptions): panel width of the fp32
+  // factorization. fp32 tiles are half the bytes, so the sweet spot can sit
+  // wider than the fp64 nb on the same cache budget.
+  std::size_t mixed_nb = 0;  // 0 = solver default (64)
   // HPCC workload knobs (src/hpcc): PTRANS block-cyclic block size, GUPS
   // batch coalescing and look-ahead window, STREAM parallel_for grain.
   std::size_t ptrans_nb = 0;      // 0 = workload default (64)
@@ -126,6 +130,8 @@ inline std::vector<std::pair<std::string, long long>> values_from_knobs(
   if (k.net_ring_segment != 0)
     v.emplace_back("net_ring_segment",
                    static_cast<long long>(k.net_ring_segment));
+  if (k.mixed_nb != 0)
+    v.emplace_back("mixed_nb", static_cast<long long>(k.mixed_nb));
   if (k.ptrans_nb != 0)
     v.emplace_back("ptrans_nb", static_cast<long long>(k.ptrans_nb));
   if (k.gups_batch != 0)
@@ -188,6 +194,8 @@ inline Knobs knobs_from_values(
       k.net_crossover_doubles = static_cast<std::size_t>(v);
     } else if (name == "net_ring_segment") {
       k.net_ring_segment = static_cast<std::size_t>(v);
+    } else if (name == "mixed_nb") {
+      k.mixed_nb = static_cast<std::size_t>(v);
     } else if (name == "ptrans_nb") {
       k.ptrans_nb = static_cast<std::size_t>(v);
     } else if (name == "gups_batch") {

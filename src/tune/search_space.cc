@@ -132,6 +132,17 @@ SearchSpace microkernel() {
   return s;
 }
 
+SearchSpace mixed() {
+  SearchSpace s;
+  // fp32 panel width: half-size elements mean twice the panel columns fit
+  // the same cache footprint, so the band extends past the fp64 sweet spot.
+  s.add("mixed_nb", {32, 48, 64, 96, 128}, 64);
+  // Same registry shape ids as microkernel(); the fp32 tables carry every
+  // shape, and 0 = auto-dispatch (widest supported).
+  s.add("microkernel", {0, 308, 408, 608, 806, 412, 808}, 0);
+  return s;
+}
+
 SearchSpace serve() {
   SearchSpace s;
   s.add("serve_batch_window", {50, 100, 200, 400, 800}, 200);

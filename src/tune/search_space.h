@@ -81,6 +81,12 @@ SearchSpace panel();
 /// (0 = unbounded for mc/nc).
 SearchSpace microkernel();
 
+/// Mixed-precision HPL: the fp32 factorization's panel width (mixed_nb —
+/// fp32 tiles are half the bytes, so the candidate band sits wider than the
+/// fp64 nb) plus the micro-kernel shape the fp32 GEMM dispatches
+/// (hpl::MixedOptions consumes the tuned record).
+SearchSpace mixed();
+
 /// Solve-server scheduling: batch coalescing window (us), LU-cache shard
 /// count and total capacity, interactive lane weight, per-lane admission
 /// bound (serve::ServeConfig::apply consumes the tuned record).

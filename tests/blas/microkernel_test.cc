@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "blas/block_model.h"
@@ -26,44 +27,51 @@ namespace {
 using util::Matrix;
 using util::MatrixView;
 
-void fill_random(MatrixView<double> m, std::uint64_t seed) {
+template <class T>
+void fill_random(MatrixView<T> m, std::uint64_t seed) {
   util::Rng rng(seed);
   for (std::size_t r = 0; r < m.rows(); ++r)
-    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rng.next_centered();
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      m(r, c) = static_cast<T>(rng.next_centered());
 }
 
-bool bitwise_equal(MatrixView<const double> a, MatrixView<const double> b) {
+template <class T>
+using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
+
+template <class T>
+bool bitwise_equal(MatrixView<T> a, MatrixView<T> b) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t c = 0; c < a.cols(); ++c)
-      if (std::bit_cast<std::uint64_t>(a(r, c)) !=
-          std::bit_cast<std::uint64_t>(b(r, c)))
+      if (std::bit_cast<Bits<T>>(a(r, c)) != std::bit_cast<Bits<T>>(b(r, c)))
         return false;
   return true;
 }
 
 /// gemm_tiled with the given forced kernel spec, single k-chunk (chunk_k
 /// >= K keeps the accumulation order identical to gemm_ref).
-Matrix<double> run_forced(const std::string& spec, std::size_t m,
-                          std::size_t n, std::size_t k, std::uint64_t seed) {
-  Matrix<double> a(m, k), b(k, n), c(m, n);
-  fill_random(a.view(), seed);
-  fill_random(b.view(), seed ^ 0x51);
-  fill_random(c.view(), seed ^ 0xc3);
+template <class T = double>
+Matrix<T> run_forced(const std::string& spec, std::size_t m, std::size_t n,
+                     std::size_t k, std::uint64_t seed) {
+  Matrix<T> a(m, k), b(k, n), c(m, n);
+  fill_random<T>(a.view(), seed);
+  fill_random<T>(b.view(), seed ^ 0x51);
+  fill_random<T>(c.view(), seed ^ 0xc3);
   GemmOptions go;
   go.chunk_k = k == 0 ? 1 : k;
   go.kernel_spec = spec.c_str();
-  gemm_tiled<double>(1.5, a.view(), b.view(), -0.5, c.view(), go);
+  gemm_tiled<T>(T(1.5), a.view(), b.view(), T(-0.5), c.view(), go);
   return c;
 }
 
-Matrix<double> run_ref(std::size_t m, std::size_t n, std::size_t k,
-                       std::uint64_t seed) {
-  Matrix<double> a(m, k), b(k, n), c(m, n);
-  fill_random(a.view(), seed);
-  fill_random(b.view(), seed ^ 0x51);
-  fill_random(c.view(), seed ^ 0xc3);
-  gemm_ref<double>(1.5, a.view(), b.view(), -0.5, c.view());
+template <class T = double>
+Matrix<T> run_ref(std::size_t m, std::size_t n, std::size_t k,
+                  std::uint64_t seed) {
+  Matrix<T> a(m, k), b(k, n), c(m, n);
+  fill_random<T>(a.view(), seed);
+  fill_random<T>(b.view(), seed ^ 0x51);
+  fill_random<T>(c.view(), seed ^ 0xc3);
+  gemm_ref<T>(T(1.5), a.view(), b.view(), T(-0.5), c.view());
   return c;
 }
 
@@ -100,6 +108,27 @@ TEST(MicrokernelRegistry, ForcedDispatchEveryShape) {
     // Spec forcing is env-free and must pin both shape and tier.
     const std::string spec = std::string(k.shape.name) + "@generic";
     const auto forced = mk::select_kernel_spec<double>(spec);
+    ASSERT_TRUE(forced.has_value()) << spec;
+    EXPECT_EQ(forced->id(), k.shape.id);
+    EXPECT_EQ(forced->isa, mk::Isa::kGeneric);
+    EXPECT_EQ(forced->name(), spec);
+  }
+}
+
+TEST(MicrokernelRegistry, FloatForcedDispatchEveryShape) {
+  // The fp32 table carries the same six shapes as fp64; every one must be
+  // reachable through both the TuningDB knob-id path and the env-free spec
+  // path (the mixed solver forces kernels through exactly these).
+  for (const auto& k : mk::registry<float>()) {
+    if (mk::env_override_spec().empty()) {
+      const auto sel = mk::select_kernel<float>(k.shape.id);
+      ASSERT_TRUE(static_cast<bool>(sel)) << k.shape.name;
+      EXPECT_EQ(sel.id(), k.shape.id);
+      EXPECT_EQ(sel.mr(), k.shape.mr);
+      EXPECT_EQ(sel.nr(), k.shape.nr);
+    }
+    const std::string spec = std::string(k.shape.name) + "@generic";
+    const auto forced = mk::select_kernel_spec<float>(spec);
     ASSERT_TRUE(forced.has_value()) << spec;
     EXPECT_EQ(forced->id(), k.shape.id);
     EXPECT_EQ(forced->isa, mk::Isa::kGeneric);
@@ -188,6 +217,56 @@ TEST(MicrokernelBitwise, EveryShapeAndIsaMatchesReference) {
       }
     }
   }
+}
+
+TEST(MicrokernelBitwise, FloatEveryShapeAndIsaMatchesReference) {
+  // Same ragged-edge sweep as the fp64 test, over the fp32 tables the mixed
+  // solver factors with: every (shape, tier) the host can run must match
+  // the reference GEMM bit for bit in single precision.
+  for (const auto& k : mk::registry<float>()) {
+    const std::size_t mr = k.shape.mr, nr = k.shape.nr, tr = k.shape.tile_rows;
+    const std::size_t ms[] = {1, mr - 1, mr, mr + 1, tr, tr + 5};
+    const std::size_t ns[] = {1, nr - 1, nr, nr + 1, 2 * nr + 3};
+    const std::size_t ks[] = {1, 7, 31};
+    for (std::size_t isa = 0; isa < mk::kIsaCount; ++isa) {
+      if (!k.variants[isa]) continue;
+      const std::string spec = std::string(k.shape.name) + "@" +
+                               mk::isa_name(static_cast<mk::Isa>(isa));
+      if (!mk::select_kernel_spec<float>(spec).has_value()) continue;
+      for (const std::size_t m : ms) {
+        if (m == 0) continue;
+        for (const std::size_t n : ns) {
+          if (n == 0) continue;
+          for (const std::size_t kk : ks) {
+            const std::uint64_t seed = m * 1000003 + n * 1009 + kk;
+            const auto got = run_forced<float>(spec, m, n, kk, seed);
+            const auto want = run_ref<float>(m, n, kk, seed);
+            ASSERT_TRUE(bitwise_equal(got.view(), want.view()))
+                << spec << " m=" << m << " n=" << n << " k=" << kk;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MicrokernelBitwise, FloatAllShapesAgree) {
+  // The shape-neutrality contract holds in fp32 too — the float dispatch
+  // policy (4x8 everywhere) is a pure perf choice, never a numerics one.
+  const std::size_t m = 41, n = 37, k = 23;
+  Matrix<float> first;
+  bool have_first = false;
+  for (const auto& kern : mk::registry<float>()) {
+    const std::string spec = std::string(kern.shape.name) + "@generic";
+    auto c = run_forced<float>(spec, m, n, k, 77);
+    if (!have_first) {
+      first = std::move(c);
+      have_first = true;
+      continue;
+    }
+    ASSERT_TRUE(bitwise_equal(c.view(), first.view())) << spec;
+  }
+  ASSERT_TRUE(have_first);
 }
 
 TEST(MicrokernelBitwise, AllShapesAgree) {
@@ -364,6 +443,27 @@ TEST(GemmDispatch, AutoDispatchReportsWidestTier) {
 #endif
   EXPECT_EQ(sel.isa, mk::Isa::kGeneric);
   EXPECT_EQ(sel.id(), 308);
+}
+
+TEST(GemmDispatch, FloatAutoDispatchPrefersShortBlock) {
+  // fp32 auto-dispatch picks 4x8 at EVERY tier: an Nr=8 float row is one
+  // 256-bit vector regardless of ISA width, so the tall blocks only deepen
+  // the un-contracted mul+add chains (-ffp-contract=off) without adding
+  // lanes. This is what makes the fp32 factor ~2x the fp64 flop rate — the
+  // premise the mixed-precision solver's speedup gate stands on.
+  for (const char* spec : {"auto@generic", "auto@avx2", "auto@avx512"}) {
+    const auto sel = mk::select_kernel_spec<float>(spec);
+    if (!sel.has_value()) continue;  // tier not runnable on this host
+    EXPECT_EQ(sel->id(), 408) << spec;
+  }
+  if (!mk::env_override_spec().empty()) GTEST_SKIP() << "env pin active";
+  const auto sel = mk::select_kernel<float>(0);
+  ASSERT_TRUE(static_cast<bool>(sel));
+  EXPECT_EQ(sel.id(), 408);
+  // The double policy is independent and unchanged by the float preference.
+  const auto dsel = mk::select_kernel<double>(0);
+  ASSERT_TRUE(static_cast<bool>(dsel));
+  EXPECT_NE(dsel.id(), 408);
 }
 
 }  // namespace

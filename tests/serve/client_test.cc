@@ -124,7 +124,11 @@ TEST(TraceText, RejectsMalformedInput) {
   std::vector<Job> out;
   EXPECT_FALSE(trace_from_text("", &out));
   EXPECT_FALSE(trace_from_text("not-a-trace v1 1\n", &out));
-  EXPECT_FALSE(trace_from_text("xphi-trace v2 0\n", &out));
+  EXPECT_FALSE(trace_from_text("xphi-trace v3 0\n", &out));
+  EXPECT_FALSE(trace_from_text("xphi-trace v2 1\n1 0 0 0x0p+0 64 1 2\n",
+                               &out));  // v2 line missing precision token
+  EXPECT_FALSE(trace_from_text("xphi-trace v2 1\n1 0 0 0x0p+0 64 1 2 fp16\n",
+                               &out));  // unknown precision
   EXPECT_FALSE(trace_from_text("xphi-trace v1 1\n1 0 7 0x0p+0 64 1 2\n",
                                &out));  // lane out of range
   EXPECT_FALSE(trace_from_text("xphi-trace v1 2\n0 0 0 0x0p+0 64 1 2\n",

@@ -105,6 +105,77 @@ TEST(ShardedLuCacheTest, DegenerateGeometryClamps) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+std::shared_ptr<const Factorization> make_mixed_value(std::size_t n,
+                                                      float fill) {
+  auto f = std::make_shared<Factorization>();
+  f->precision = hpl::Precision::kMixed;
+  f->mixed.lu = util::Matrix<float>(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) f->mixed.lu(r, c) = fill;
+  f->mixed.ipiv.assign(n, 0);
+  return f;
+}
+
+TEST(ShardedLuCacheTest, CostUnitsFp32PacksTwiceAsDense) {
+  // capacity 2 => one shard with a 4-unit budget: two fp64 entries (2 units
+  // each) fill it, but FOUR fp32 entries (1 unit each) fit — the
+  // cache-capacity dividend of half-size factors.
+  ShardedLuCache cache(1, 2);
+  EXPECT_EQ(cache.shard_unit_budget(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    cache.insert(key_of(i), make_mixed_value(2, static_cast<float>(i)));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.used_units(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_NE(cache.find(key_of(i)), nullptr) << i;
+  // A fifth fp32 entry finally evicts the least recently used one.
+  cache.insert(key_of(4), make_mixed_value(2, 4.0f));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.find(key_of(0)), nullptr);
+}
+
+TEST(ShardedLuCacheTest, CostUnitsAllFp64MatchesEntryCountLru) {
+  // The budget is 2x the entry share and fp64 costs 2, so an all-fp64
+  // workload sees exactly the historical entry-count LRU: capacity 2 holds
+  // two entries, never three.
+  ShardedLuCache cache(1, 2);
+  cache.insert(key_of(1), make_value(2, 1));
+  cache.insert(key_of(2), make_value(2, 2));
+  EXPECT_EQ(cache.used_units(), 4u);
+  cache.insert(key_of(3), make_value(2, 3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.used_units(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLuCacheTest, CostUnitsMixedWorkloadEvictsUntilFits) {
+  // 4-unit budget holding one fp64 (2) + two fp32 (1+1): a new fp64 entry
+  // needs 2 units, so the oldest entry (the fp64 one) goes — freeing
+  // exactly enough; the two fp32 entries survive.
+  ShardedLuCache cache(1, 2);
+  cache.insert(key_of(1), make_value(2, 1));            // 2 units (oldest)
+  cache.insert(key_of(2), make_mixed_value(2, 2.0f));   // 1 unit
+  cache.insert(key_of(3), make_mixed_value(2, 3.0f));   // 1 unit
+  EXPECT_EQ(cache.used_units(), 4u);
+  cache.insert(key_of(4), make_value(2, 4));            // needs 2 units
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);            // evicted
+  EXPECT_NE(cache.find(key_of(2)), nullptr);
+  EXPECT_NE(cache.find(key_of(3)), nullptr);
+  EXPECT_NE(cache.find(key_of(4)), nullptr);
+  EXPECT_LE(cache.used_units(), cache.shard_unit_budget());
+  // fp64 and fp32 factors of the same matrix never alias: the bucket carries
+  // an "|fp32" suffix in the server's key, making them distinct keys. Model
+  // that here: both live side by side.
+  ShardedLuCache both(1, 2);
+  both.insert(CacheKey{"m", "b64", 7}, make_value(2, 1));
+  both.insert(CacheKey{"m", "b64|fp32", 7}, make_mixed_value(2, 1.0f));
+  EXPECT_EQ(both.size(), 2u);
+  EXPECT_NE(both.find(CacheKey{"m", "b64", 7}), nullptr);
+  EXPECT_NE(both.find(CacheKey{"m", "b64|fp32", 7}), nullptr);
+}
+
 TEST(ShardedLuCacheTest, ConcurrentMixedTrafficIsSafe) {
   ShardedLuCache cache(4, 32);
   std::vector<std::thread> threads;

@@ -9,6 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "blas/getrf.h"
+#include "blas/lu_kernels.h"
+#include "hpl/mixed.h"
 #include "serve/job.h"
 #include "trace/timeline.h"
 #include "tune/knobs.h"
@@ -222,6 +225,108 @@ TEST(Server, DagRuntimeFactorizationIsBitwiseIdentical) {
     ASSERT_EQ(seq.jobs[i].x.size(), dag.jobs[i].x.size());
     for (std::size_t k = 0; k < seq.jobs[i].x.size(); ++k)
       EXPECT_EQ(seq.jobs[i].x[k], dag.jobs[i].x[k]);
+  }
+}
+
+TEST(Server, MixedPrecisionJobsEndToEnd) {
+  // Half the traffic requests mixed precision: mixed jobs must come back
+  // bitwise-equal to the sequential factor_mixed + refine_mixed oracle,
+  // fp64 jobs bitwise-equal to the classic fp64 path, batches must never
+  // coalesce across precisions, and the dispatch log must say which is which.
+  auto traffic = small_traffic(Mix::kRepeatRhs, 48);
+  traffic.mixed_fraction = 0.5;
+  const auto trace = generate_trace(traffic);
+  std::size_t n_mixed = 0, n_fp64 = 0;
+  for (const Job& j : trace)
+    (j.precision == hpl::Precision::kMixed ? n_mixed : n_fp64)++;
+  ASSERT_GT(n_mixed, 0u);
+  ASSERT_GT(n_fp64, 0u);
+
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport report = run_server(trace, cfg);
+  EXPECT_EQ(report.rejected, 0u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const JobOutcome& out = report.jobs[i];
+    ASSERT_EQ(out.x.size(), trace[i].n);
+    EXPECT_EQ(out.precision, trace[i].precision);
+    const std::size_t n = trace[i].n;
+    util::Matrix<double> a(n, n);
+    util::fill_hpl_matrix(a.view(), trace[i].matrix_seed);
+    std::vector<double> b(n);
+    util::Rng rng(trace[i].rhs_seed);
+    for (auto& v : b) v = rng.next_centered();
+    if (trace[i].precision == hpl::Precision::kMixed) {
+      hpl::MixedOptions mo;
+      mo.nb = cfg.nb;
+      hpl::MixedFactors f;
+      ASSERT_TRUE(hpl::factor_mixed(a.view(), f, mo));
+      const hpl::MixedSolveResult sol = hpl::refine_mixed(a.view(), b, f);
+      ASSERT_TRUE(sol.ok);
+      for (std::size_t k = 0; k < n; ++k)
+        ASSERT_EQ(out.x[k], sol.x[k]) << "job " << i << " k=" << k;
+    } else {
+      std::vector<std::size_t> ipiv(n);
+      ASSERT_TRUE(blas::getrf_blocked<double>(a.view(), ipiv, cfg.nb));
+      std::vector<double> x = b;
+      blas::lu_solve_vector<double>(a.view(), ipiv, x);
+      for (std::size_t k = 0; k < n; ++k)
+        ASSERT_EQ(out.x[k], x[k]) << "job " << i << " k=" << k;
+    }
+    EXPECT_LT(solve_residual(trace[i], out.x), 1e-8);
+  }
+  // Batches never coalesce across precisions.
+  std::map<std::uint64_t, std::vector<std::size_t>> by_batch;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i)
+    by_batch[report.jobs[i].batch_id].push_back(i);
+  for (const auto& [id, members] : by_batch)
+    for (std::size_t m : members)
+      EXPECT_EQ(trace[m].precision, trace[members[0]].precision)
+          << "batch " << id;
+  // The dispatch log labels both precisions.
+  bool saw_mixed = false, saw_fp64 = false;
+  for (const std::string& line : report.decisions) {
+    saw_mixed |= line.find("prec=mixed") != std::string::npos;
+    saw_fp64 |= line.find("prec=fp64") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_mixed);
+  EXPECT_TRUE(saw_fp64);
+}
+
+TEST(Server, MixedTrafficCacheAnswersBitwiseIdentical) {
+  // Cache on vs off may not change a bit of any answer, mixed included —
+  // fp32 factors are deterministic, so a hit replays the first factor's
+  // exact bits through the refinement.
+  auto traffic = small_traffic(Mix::kRepeatRhs, 48);
+  traffic.mixed_fraction = 1.0;  // all-mixed repeat traffic
+  const auto trace = generate_trace(traffic);
+  ServeConfig cfg;
+  cfg.workers = 2;
+  const ServeReport warm = run_server(trace, cfg);
+  EXPECT_GT(warm.cache_hits, 0u);
+  cfg.use_cache = false;
+  const ServeReport cold = run_server(trace, cfg);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(warm.jobs[i].x.size(), cold.jobs[i].x.size());
+    for (std::size_t k = 0; k < warm.jobs[i].x.size(); ++k)
+      EXPECT_EQ(warm.jobs[i].x[k], cold.jobs[i].x[k]);
+  }
+}
+
+TEST(Server, AllFp64TraceUnchangedByMixedFraction) {
+  // mixed_fraction = 0 must not even draw from the RNG: the generated trace
+  // is bit-for-bit the pre-mixed-precision one.
+  const auto a = generate_trace(small_traffic(Mix::kUniform, 32));
+  auto traffic = small_traffic(Mix::kUniform, 32);
+  traffic.mixed_fraction = 0;
+  const auto b = generate_trace(traffic);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].precision, hpl::Precision::kFp64);
+    EXPECT_EQ(a[i].matrix_seed, b[i].matrix_seed);
+    EXPECT_EQ(a[i].rhs_seed, b[i].rhs_seed);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
   }
 }
 

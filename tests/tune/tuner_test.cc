@@ -157,6 +157,7 @@ TEST(Knobs, EncodeDecodeRoundTrip) {
   k.laswp_col_chunk = 512;
   k.net_crossover_doubles = 4096;
   k.net_ring_segment = 512;
+  k.mixed_nb = 96;
   const Knobs back = knobs_from_values(values_from_knobs(k));
   EXPECT_EQ(back.mt, k.mt);
   EXPECT_EQ(back.nt, k.nt);
@@ -170,6 +171,7 @@ TEST(Knobs, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.laswp_col_chunk, k.laswp_col_chunk);
   EXPECT_EQ(back.net_crossover_doubles, k.net_crossover_doubles);
   EXPECT_EQ(back.net_ring_segment, k.net_ring_segment);
+  EXPECT_EQ(back.mixed_nb, k.mixed_nb);
   // lookahead 0 (kNone) is a *set* value, distinct from the -1 default.
   Knobs none;
   none.lookahead = 0;
@@ -195,6 +197,15 @@ TEST(CanonicalSpaces, CoverTheDocumentedKnobs) {
   const auto net_defaults = ns.values_at(ns.default_point());
   EXPECT_EQ(net_defaults[0], 1024);
   EXPECT_EQ(net_defaults[1], 1024);
+  // Mixed-precision HPL: fp32 panel width + micro-kernel shape, defaulted
+  // at the solver's built-ins (nb=64, auto-dispatch).
+  const SearchSpace ms = spaces::mixed();
+  ASSERT_EQ(ms.dims(), 2u);
+  EXPECT_EQ(ms.dim(0).name, "mixed_nb");
+  EXPECT_EQ(ms.dim(1).name, "microkernel");
+  const auto mixed_defaults = ms.values_at(ms.default_point());
+  EXPECT_EQ(mixed_defaults[0], 64);
+  EXPECT_EQ(mixed_defaults[1], 0);
   // Panel critical path: cutoff + LASWP chunk, defaulted at the kernel's
   // built-in constants so an unsearched space reproduces the stock kernels.
   const SearchSpace ps = spaces::panel();
